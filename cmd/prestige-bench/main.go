@@ -1,0 +1,71 @@
+// Command prestige-bench regenerates the tables and figures of the
+// PrestigeBFT paper's evaluation (§6) on the discrete-event simulator.
+//
+// Usage:
+//
+//	prestige-bench -experiment fig9            # one figure, quick scale
+//	prestige-bench -experiment all -full       # everything at paper scale
+//	prestige-bench -list                       # enumerate experiments
+//
+// Results print as text tables; EXPERIMENTS.md maps each experiment to the
+// paper's figure and records reference outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"prestigebft/internal/harness"
+
+	_ "prestigebft/internal/baseline/hotstuff"
+	_ "prestigebft/internal/baseline/prosecutor"
+	_ "prestigebft/internal/baseline/sbft"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run (fig4c, fig6..fig14, peak, all)")
+	full := flag.Bool("full", false, "run at paper scale (minutes of wall clock per figure)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	names := make([]string, 0, len(harness.Experiments))
+	for n := range harness.Experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if *list {
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	scale := harness.Quick
+	if *full {
+		scale = harness.Full
+	}
+
+	run := func(name string) {
+		runner, ok := harness.Experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := runner(scale)
+		fmt.Println(res)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, n := range names {
+			run(n)
+		}
+		return
+	}
+	run(*experiment)
+}

@@ -1,0 +1,96 @@
+// Command prestige-server runs one live PrestigeBFT replica over TCP.
+//
+// A 4-server local cluster:
+//
+//	prestige-server -id 1 -n 4 -listen :7001 -peers :7001,:7002,:7003,:7004 &
+//	prestige-server -id 2 -n 4 -listen :7002 -peers :7001,:7002,:7003,:7004 &
+//	prestige-server -id 3 -n 4 -listen :7003 -peers :7001,:7002,:7003,:7004 &
+//	prestige-server -id 4 -n 4 -listen :7004 -peers :7001,:7002,:7003,:7004 &
+//	prestige-client -n 4 -peers :7001,:7002,:7003,:7004 -duration 10s
+//
+// Keys are derived deterministically from -seed so all processes agree on
+// the deployment registry without a PKI (demo-grade; swap in real key
+// distribution for production).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/core"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/runtime"
+	"prestigebft/internal/transport"
+	"prestigebft/internal/types"
+)
+
+func main() {
+	id := flag.Int("id", 1, "server ID (1..n)")
+	n := flag.Int("n", 4, "cluster size (3f+1)")
+	listen := flag.String("listen", ":7001", "listen address")
+	peers := flag.String("peers", ":7001,:7002,:7003,:7004", "comma-separated peer addresses, index = server ID")
+	seed := flag.Uint64("seed", 42, "deployment key seed (must match across processes)")
+	clients := flag.Int("clients", 64, "number of client identities in the registry")
+	batch := flag.Int("batch", 100, "batch size β")
+	bits := flag.Int("puzzle-bits", 4, "proof-of-work bits per reputation penalty unit")
+	policy := flag.Duration("rotate", 0, "timing-policy view rotation period (0 = disabled)")
+	verbose := flag.Bool("v", false, "log traces")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) != *n {
+		log.Fatalf("expected %d peer addresses, got %d", *n, len(addrs))
+	}
+	peerMap := make(map[types.ServerID]string, *n)
+	for i, a := range addrs {
+		peerMap[types.ServerID(i+1)] = strings.TrimSpace(a)
+	}
+
+	reg, serverKeys, _ := crypto.GenerateDeployment(*seed, *n, *clients)
+	sid := types.ServerID(*id)
+	node := core.New(core.Config{
+		ID:              sid,
+		N:               *n,
+		Keys:            serverKeys[sid],
+		Registry:        reg,
+		BatchSize:       *batch,
+		PuzzleBitsPerRP: *bits,
+		ViewPolicy:      *policy,
+	})
+
+	tr := transport.NewServerTransport(sid)
+	rt := runtime.New(runtime.Config{
+		Replica:         node,
+		Peers:           peerMap,
+		Transport:       tr,
+		PuzzleBitsPerRP: *bits,
+		OnCommit: func(b *types.TxBlock) {
+			if *verbose {
+				log.Printf("committed block %d (%d txs) in view %d", b.Header.N, len(b.Txs), b.Header.V)
+			}
+		},
+		OnTrace: func(t consensus.Trace) {
+			if *verbose {
+				log.Printf("trace %s view=%d value=%d", t.Event, t.View, t.Value)
+			}
+		},
+	})
+
+	handler := func(env *transport.Envelope) {
+		if env.FromClient != 0 {
+			// Learn the client's return address from its first message
+			// (demo convention: clients listen on 9000+ID locally).
+			rt.RegisterClient(env.FromClient, fmt.Sprintf("127.0.0.1:%d", 9000+env.FromClient))
+		}
+		rt.Deliver(env)
+	}
+	if err := tr.Listen(*listen, handler); err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("prestige-server %d/%d listening on %s (leader of view 1: server 1)", *id, *n, tr.Addr())
+
+	rt.Run()
+}

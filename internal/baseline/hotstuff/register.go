@@ -1,0 +1,29 @@
+package hotstuff
+
+import (
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/harness"
+)
+
+// init registers the baseline with the experiment harness so clusters can
+// be built with Options{Protocol: harness.HotStuff}.
+func init() {
+	harness.RegisterProtocol(harness.HotStuff, func(env harness.FactoryEnv) consensus.Replica {
+		cfg := Config{
+			ID:        env.ID,
+			N:         env.N,
+			Keys:      env.Keys,
+			Registry:  env.Registry,
+			BatchSize: env.Opts.BatchSize,
+			// The paper sets HotStuff's initial timeout to 1 s (§6.2); the
+			// harness's TimeoutMax plays that role when customized.
+			ViewTimeout: env.Opts.TimeoutMax,
+			ViewPolicy:  env.Opts.ViewPolicy,
+			RNG:         env.RNG,
+		}
+		if env.Opts.StateMachine != nil {
+			cfg.StateMachine = env.Opts.StateMachine()
+		}
+		return New(cfg)
+	})
+}

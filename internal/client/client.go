@@ -1,0 +1,202 @@
+// Package client implements the PrestigeBFT client protocol (§4.3 and
+// §4.2.1): broadcast a proposal to all servers, wait for f+1 matching Notif
+// messages, and broadcast a complaint if the proposal is not confirmed in
+// time — the trigger of failure-detection view changes.
+//
+// Clients are closed-loop: each keeps exactly one transaction outstanding
+// and submits the next one as soon as the previous commits, matching the
+// paper's workload methodology ("clients generated random requests ... and
+// waited for one request to complete before sending the next one").
+package client
+
+import (
+	"time"
+
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/types"
+)
+
+// Env is the runtime environment a client operates in. The simulator and
+// the live runtime provide implementations.
+type Env interface {
+	// Now returns the current time.
+	Now() time.Duration
+	// Broadcast sends msg to every server.
+	Broadcast(msg types.Message)
+	// SetTimer schedules fn and returns a cancel function.
+	SetTimer(d time.Duration, fn func()) (cancel func())
+}
+
+// Stats aggregates a client's completed requests.
+type Stats struct {
+	Committed  int
+	Rejected   int // committed with status=false (application rejection)
+	Complaints int
+	Latencies  []time.Duration
+}
+
+// Config parameterizes a client.
+type Config struct {
+	ID       types.ClientID
+	Keys     *crypto.KeyPair
+	Registry *crypto.Registry
+	N        int // cluster size, for the f+1 notification quorum
+
+	// Payload generates the i-th transaction body. Default: PayloadSize
+	// zero bytes.
+	Payload func(i int) []byte
+	// PayloadSize is the paper's m (message size); used when Payload is
+	// nil. Default 32 bytes.
+	PayloadSize int
+
+	// Timeout is how long the client waits for f+1 Notifs before
+	// complaining. Default 1s.
+	Timeout time.Duration
+	// ThinkTime delays the next request after a commit, throttling the
+	// client's offered load. Zero keeps the loop closed and maximally
+	// aggressive.
+	ThinkTime time.Duration
+	// MaxRequests stops the client after this many commits; 0 = unlimited.
+	MaxRequests int
+
+	// OnCommit, if non-nil, observes each commit (latency measurement
+	// points live in Stats regardless).
+	OnCommit func(latency time.Duration)
+}
+
+// Client is one closed-loop workload source.
+type Client struct {
+	cfg Config
+	env Env
+
+	seq         int
+	outstanding *types.Prop
+	outD        types.Digest
+	sentAt      time.Duration
+	notifs      map[types.ServerID]bool
+	rejects     map[types.ServerID]bool
+	cancelTimer func()
+	stopped     bool
+
+	// Stats is the client's accumulated results.
+	Stats Stats
+}
+
+// New creates a client bound to its runtime environment.
+func New(cfg Config, env Env) *Client {
+	if cfg.PayloadSize == 0 {
+		cfg.PayloadSize = 32
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = time.Second
+	}
+	return &Client{cfg: cfg, env: env}
+}
+
+// ID returns the client identity.
+func (c *Client) ID() types.ClientID { return c.cfg.ID }
+
+// Start submits the first request.
+func (c *Client) Start() { c.next() }
+
+// Stop halts the request loop after the current request completes.
+func (c *Client) Stop() { c.stopped = true }
+
+// next builds and broadcasts the client's next proposal.
+func (c *Client) next() {
+	if c.stopped || (c.cfg.MaxRequests > 0 && c.Stats.Committed >= c.cfg.MaxRequests) {
+		c.outstanding = nil
+		return
+	}
+	c.seq++
+	var payload []byte
+	if c.cfg.Payload != nil {
+		payload = c.cfg.Payload(c.seq)
+	} else {
+		payload = make([]byte, c.cfg.PayloadSize)
+	}
+	tx := types.Transaction{
+		// Unique per (client, seq): the timestamp the paper's t.
+		Timestamp: int64(c.cfg.ID)<<32 | int64(c.seq),
+		Client:    c.cfg.ID,
+		Data:      payload,
+	}
+	prop := &types.Prop{Tx: tx, D: tx.Digest()}
+	prop.Sig = c.cfg.Keys.Sign(prop.SigningBytes())
+	c.outstanding = prop
+	c.outD = prop.D
+	c.sentAt = c.env.Now()
+	c.notifs = make(map[types.ServerID]bool, types.ConfirmSize(c.cfg.N))
+	c.rejects = make(map[types.ServerID]bool)
+	c.env.Broadcast(prop)
+	c.armTimeout()
+}
+
+func (c *Client) armTimeout() {
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+	}
+	c.cancelTimer = c.env.SetTimer(c.cfg.Timeout, c.onTimeout)
+}
+
+// OnNotif processes a server notification. The transaction is confirmed
+// once f+1 servers sent matching Notifs.
+func (c *Client) OnNotif(from types.ServerID, m *types.Notif) {
+	if c.outstanding == nil || m.TxD != c.outD {
+		return
+	}
+	if !c.cfg.Registry.VerifyServer(from, m.SigningBytes(), m.Sig) {
+		return
+	}
+	if m.Status {
+		c.notifs[from] = true
+	} else {
+		c.rejects[from] = true
+	}
+	quorum := types.ConfirmSize(c.cfg.N)
+	switch {
+	case len(c.notifs) >= quorum:
+		c.complete(true)
+	case len(c.rejects) >= quorum:
+		c.complete(false)
+	}
+}
+
+func (c *Client) complete(accepted bool) {
+	lat := c.env.Now() - c.sentAt
+	c.Stats.Latencies = append(c.Stats.Latencies, lat)
+	if accepted {
+		c.Stats.Committed++
+	} else {
+		c.Stats.Rejected++
+	}
+	if c.cancelTimer != nil {
+		c.cancelTimer()
+		c.cancelTimer = nil
+	}
+	c.outstanding = nil
+	if c.cfg.OnCommit != nil {
+		c.cfg.OnCommit(lat)
+	}
+	if c.cfg.ThinkTime > 0 {
+		c.env.SetTimer(c.cfg.ThinkTime, c.next)
+		return
+	}
+	c.next()
+}
+
+// onTimeout broadcasts a complaint (§4.2.1): the proposal could not be
+// confirmed in time, so the client suspects the leader.
+func (c *Client) onTimeout() {
+	if c.outstanding == nil || c.stopped {
+		return
+	}
+	c.Stats.Complaints++
+	compt := &types.Compt{Prop: *c.outstanding}
+	compt.Sig = c.cfg.Keys.Sign(compt.SigningBytes())
+	c.env.Broadcast(compt)
+	c.armTimeout()
+}
+
+// Outstanding reports whether the client is waiting on a request.
+func (c *Client) Outstanding() bool { return c.outstanding != nil }

@@ -1,0 +1,188 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/types"
+)
+
+// fakeEnv is a manually advanced client environment.
+type fakeEnv struct {
+	now        time.Duration
+	broadcasts []types.Message
+	timers     []*fakeTimer
+}
+
+type fakeTimer struct {
+	at       time.Duration
+	fn       func()
+	canceled bool
+}
+
+func (e *fakeEnv) Now() time.Duration { return e.now }
+func (e *fakeEnv) Broadcast(msg types.Message) {
+	e.broadcasts = append(e.broadcasts, msg)
+}
+func (e *fakeEnv) SetTimer(d time.Duration, fn func()) func() {
+	t := &fakeTimer{at: e.now + d, fn: fn}
+	e.timers = append(e.timers, t)
+	return func() { t.canceled = true }
+}
+
+func (e *fakeEnv) advance(d time.Duration) {
+	e.now += d
+	for _, t := range e.timers {
+		if !t.canceled && t.at <= e.now && t.fn != nil {
+			fn := t.fn
+			t.fn = nil
+			fn()
+		}
+	}
+}
+
+func newTestClient(t *testing.T) (*Client, *fakeEnv, *crypto.Registry, map[types.ServerID]*crypto.KeyPair) {
+	t.Helper()
+	reg, serverKeys, clientKeys := crypto.GenerateDeployment(55, 4, 1)
+	env := &fakeEnv{}
+	c := New(Config{
+		ID: 1, Keys: clientKeys[1], Registry: reg, N: 4,
+		PayloadSize: 16, Timeout: time.Second,
+	}, env)
+	return c, env, reg, serverKeys
+}
+
+func notifFor(prop *types.Prop, from types.ServerID, keys *crypto.KeyPair, status bool) *types.Notif {
+	n := &types.Notif{From: from, V: 1, N: 1, TxD: prop.D, Status: status}
+	n.Sig = keys.Sign(n.SigningBytes())
+	return n
+}
+
+func TestClientClosedLoop(t *testing.T) {
+	c, env, _, serverKeys := newTestClient(t)
+	c.Start()
+	if len(env.broadcasts) != 1 {
+		t.Fatalf("broadcasts = %d, want 1", len(env.broadcasts))
+	}
+	prop := env.broadcasts[0].(*types.Prop)
+	if !c.Outstanding() {
+		t.Fatal("no outstanding request after Start")
+	}
+	// One notification is not enough (quorum f+1 = 2).
+	env.advance(10 * time.Millisecond)
+	c.OnNotif(1, notifFor(prop, 1, serverKeys[1], true))
+	if c.Stats.Committed != 0 {
+		t.Fatal("committed on a single notification")
+	}
+	// A duplicate from the same server must not count twice.
+	c.OnNotif(1, notifFor(prop, 1, serverKeys[1], true))
+	if c.Stats.Committed != 0 {
+		t.Fatal("duplicate notification counted")
+	}
+	c.OnNotif(2, notifFor(prop, 2, serverKeys[2], true))
+	if c.Stats.Committed != 1 {
+		t.Fatalf("committed = %d, want 1 after f+1 notifs", c.Stats.Committed)
+	}
+	if len(c.Stats.Latencies) != 1 || c.Stats.Latencies[0] != 10*time.Millisecond {
+		t.Fatalf("latency = %v", c.Stats.Latencies)
+	}
+	// Closed loop: the next request went out immediately.
+	if len(env.broadcasts) != 2 {
+		t.Fatalf("broadcasts = %d, want 2", len(env.broadcasts))
+	}
+}
+
+func TestClientComplainsOnTimeout(t *testing.T) {
+	c, env, _, _ := newTestClient(t)
+	c.Start()
+	env.advance(1100 * time.Millisecond)
+	if c.Stats.Complaints != 1 {
+		t.Fatalf("complaints = %d, want 1", c.Stats.Complaints)
+	}
+	// The complaint carries the original proposal, signed.
+	var compt *types.Compt
+	for _, m := range env.broadcasts {
+		if x, ok := m.(*types.Compt); ok {
+			compt = x
+		}
+	}
+	if compt == nil {
+		t.Fatal("no complaint broadcast")
+	}
+	orig := env.broadcasts[0].(*types.Prop)
+	if compt.Prop.D != orig.D {
+		t.Fatal("complaint references the wrong proposal")
+	}
+	if len(compt.Sig) == 0 {
+		t.Fatal("complaint unsigned")
+	}
+}
+
+func TestClientRejectsBadNotifSignature(t *testing.T) {
+	c, env, _, serverKeys := newTestClient(t)
+	c.Start()
+	prop := env.broadcasts[0].(*types.Prop)
+	n1 := notifFor(prop, 1, serverKeys[1], true)
+	n1.Sig = []byte("garbage")
+	c.OnNotif(1, n1)
+	n2 := notifFor(prop, 2, serverKeys[2], true)
+	n2.From = 3 // signature won't match claimed origin
+	c.OnNotif(3, n2)
+	if c.Stats.Committed != 0 {
+		t.Fatal("bad notifications accepted")
+	}
+}
+
+func TestClientRejectionQuorum(t *testing.T) {
+	c, env, _, serverKeys := newTestClient(t)
+	c.Start()
+	prop := env.broadcasts[0].(*types.Prop)
+	c.OnNotif(1, notifFor(prop, 1, serverKeys[1], false))
+	c.OnNotif(2, notifFor(prop, 2, serverKeys[2], false))
+	if c.Stats.Rejected != 1 || c.Stats.Committed != 0 {
+		t.Fatalf("rejected/committed = %d/%d, want 1/0", c.Stats.Rejected, c.Stats.Committed)
+	}
+}
+
+func TestClientMaxRequestsAndStop(t *testing.T) {
+	reg, serverKeys, clientKeys := crypto.GenerateDeployment(55, 4, 1)
+	env := &fakeEnv{}
+	c := New(Config{
+		ID: 1, Keys: clientKeys[1], Registry: reg, N: 4,
+		MaxRequests: 2, Timeout: time.Second,
+	}, env)
+	_ = reg
+	c.Start()
+	for i := 0; i < 2; i++ {
+		prop := env.broadcasts[len(env.broadcasts)-1].(*types.Prop)
+		c.OnNotif(1, notifFor(prop, 1, serverKeys[1], true))
+		c.OnNotif(2, notifFor(prop, 2, serverKeys[2], true))
+	}
+	if c.Stats.Committed != 2 {
+		t.Fatalf("committed = %d, want 2", c.Stats.Committed)
+	}
+	if c.Outstanding() {
+		t.Fatal("client kept requesting past MaxRequests")
+	}
+}
+
+func TestClientThinkTime(t *testing.T) {
+	reg, serverKeys, clientKeys := crypto.GenerateDeployment(55, 4, 1)
+	env := &fakeEnv{}
+	c := New(Config{
+		ID: 1, Keys: clientKeys[1], Registry: reg, N: 4,
+		ThinkTime: 100 * time.Millisecond, Timeout: time.Second,
+	}, env)
+	c.Start()
+	prop := env.broadcasts[0].(*types.Prop)
+	c.OnNotif(1, notifFor(prop, 1, serverKeys[1], true))
+	c.OnNotif(2, notifFor(prop, 2, serverKeys[2], true))
+	if len(env.broadcasts) != 1 {
+		t.Fatal("next request sent before think time elapsed")
+	}
+	env.advance(150 * time.Millisecond)
+	if len(env.broadcasts) != 2 {
+		t.Fatal("next request not sent after think time")
+	}
+}

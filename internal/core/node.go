@@ -1,0 +1,434 @@
+// Package core implements the PrestigeBFT consensus node: the active
+// view-change protocol with reputation mechanisms (§4.2 of the paper) and
+// the two-phase replication protocol (§4.3).
+//
+// A Node is a pure event-driven state machine satisfying consensus.Replica:
+// it consumes messages, timer expirations and finished proof-of-work
+// computations, and emits effects. It embeds a ledger (txBlock and vcBlock
+// chains plus the application state machine) and consults the reputation
+// engine — never writing reputation state outside view-change consensus,
+// matching the paper's "consultant" design (§3).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/ledger"
+	"prestigebft/internal/quorum"
+	"prestigebft/internal/reputation"
+	"prestigebft/internal/types"
+)
+
+// State is a server's role in the current view (Figure 5).
+type State uint8
+
+const (
+	// Follower is the initial state; followers replicate and vote.
+	Follower State = iota
+	// Redeemer performs reputation-determined computation to campaign.
+	Redeemer
+	// Candidate runs a leader election.
+	Candidate
+	// Leader conducts replication consensus.
+	Leader
+)
+
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Redeemer:
+		return "redeemer"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Timer kinds used by the node.
+const (
+	// TimerCompt waits for a complained transaction to commit
+	// (Algo. 2 lines 3-5). Key: first 8 bytes of the tx digest.
+	TimerCompt consensus.TimerKind = iota + 1
+	// TimerConfVC bounds the wait for f+1 ReVC replies. Key: view.
+	TimerConfVC
+	// TimerElection bounds a candidate's election (Algo. 2 line 45).
+	// Key: the view campaigned for.
+	TimerElection
+	// TimerPolicy fires the policy-defined view change (§4.2.1). Key: view.
+	TimerPolicy
+	// TimerBatch flushes a partially filled batch at the leader.
+	TimerBatch
+)
+
+// Config parameterizes a node. Zero values select the defaults documented
+// on each field.
+type Config struct {
+	ID       types.ServerID
+	N        int // cluster size (n = 3f+1)
+	Keys     *crypto.KeyPair
+	Registry *crypto.Registry
+
+	// Engine is the reputation engine; nil selects reputation.New().
+	Engine *reputation.Engine
+
+	// StateMachine receives committed transactions; nil selects AcceptAll.
+	StateMachine ledger.StateMachine
+
+	// InitialLeader leads view 1. Default: server 1.
+	InitialLeader types.ServerID
+
+	// BatchSize is the paper's β: transactions per txBlock. Default 100.
+	BatchSize int
+	// BatchTimeout flushes a partial batch. Default 2ms.
+	BatchTimeout time.Duration
+
+	// ConfVCTimeout bounds the wait for f+1 ReVC replies. Default 300ms.
+	ConfVCTimeout time.Duration
+
+	// TimeoutMin/TimeoutMax bound the follower's randomized timeout
+	// (§4.2.1: "a timer with a random timeout... sufficiently greater than
+	// Δ"; §6 uses [800, 1200 ms]). The same range drives the complaint
+	// wait, the policy-trigger jitter, and the candidate election timer.
+	// The randomization width TimeoutMax−TimeoutMin is Fig. 8's ε.
+	TimeoutMin time.Duration
+	TimeoutMax time.Duration
+
+	// ViewPolicy rotates leadership every ViewPolicy of view lifetime
+	// (the paper's r10/r30 timing policy). Zero disables policy rotation.
+	ViewPolicy time.Duration
+
+	// RefreshThreshold is π (§4.2.5): servers whose rp exceeds it seek a
+	// refresh. Zero disables refreshing.
+	RefreshThreshold int64
+
+	// PuzzleBitsPerRP maps a reputation penalty to the proof-of-work
+	// difficulty in leading zero bits: difficulty = rp · PuzzleBitsPerRP.
+	// The paper's prose says rp zero *bytes* (8 bits), but its worked
+	// example (hr = "0000966sv0d3..." for rp = 4) and all measured costs in
+	// §6.2 (<20 ms below rp 5, ~10³ s near the 14th attack, hours beyond
+	// rp 8) correspond to 4 bits per unit at commodity hash rates, so the
+	// default (selected by 0) is 4. A negative value disables the prefix
+	// requirement: the simulator enforces difficulty through its virtual
+	// solve-time model instead, while C5 verification still recomputes the
+	// hash (DESIGN.md §4). The runtime decides how the solve is performed;
+	// the node uses this only to verify campaign computations (C5).
+	PuzzleBitsPerRP int
+
+	// RNG drives timeout randomization. Must be non-nil for deterministic
+	// simulation; nil falls back to a fixed-seed source.
+	RNG *rand.Rand
+
+	// CampaignGate, if non-nil, is consulted when a view change has been
+	// confirmed and this server is about to campaign; returning false
+	// abandons the campaign and the server stays a follower. The fault
+	// injector uses it to implement attacker strategy S2 (§6.2: faulty
+	// servers "launch attacks only when they can get compensated").
+	// Correct servers leave it nil.
+	CampaignGate func(reputation.Result) bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Engine == nil {
+		out.Engine = reputation.New()
+	}
+	if out.InitialLeader == 0 {
+		out.InitialLeader = 1
+	}
+	if out.BatchSize == 0 {
+		out.BatchSize = 100
+	}
+	if out.BatchTimeout == 0 {
+		out.BatchTimeout = 2 * time.Millisecond
+	}
+	if out.ConfVCTimeout == 0 {
+		out.ConfVCTimeout = 300 * time.Millisecond
+	}
+	if out.TimeoutMin == 0 {
+		out.TimeoutMin = 800 * time.Millisecond
+	}
+	if out.TimeoutMax == 0 {
+		out.TimeoutMax = 1200 * time.Millisecond
+	}
+	if out.PuzzleBitsPerRP == 0 {
+		out.PuzzleBitsPerRP = 4
+	}
+	if out.RNG == nil {
+		out.RNG = rand.New(rand.NewSource(int64(out.ID)))
+	}
+	return out
+}
+
+// replInstance is one in-flight replication consensus instance at the leader.
+type replInstance struct {
+	block   *types.TxBlock
+	digest  types.Digest
+	ordColl *quorum.Collector
+	cmtColl *quorum.Collector
+	started time.Duration
+}
+
+// pendingProposal is a proposal stashed by a follower between Ord and commit.
+type pendingProposal struct {
+	block  types.TxBlock
+	digest types.Digest
+}
+
+// Node is a PrestigeBFT server.
+type Node struct {
+	cfg   Config
+	store *ledger.Store
+
+	state State
+
+	// viewEnteredAt records when the current view was installed, for
+	// policy-trigger validation.
+	viewEnteredAt time.Duration
+
+	// leaderConfirmed reports whether this node, as leader, has collected
+	// 2f+1 vcYes and may run replication (§4.2.4).
+	leaderConfirmed bool
+
+	// --- Replication state (leader) ---
+	pending         []types.Transaction
+	pendingByDigest map[types.Digest]bool
+	inflight        *replInstance
+	batchArmed      bool
+
+	// --- Replication state (follower) ---
+	prepared map[types.SeqNum]*pendingProposal // Ord accepted, awaiting Cmt/commit
+	ordVoted map[types.SeqNum]types.View       // "n has not been used" check
+
+	// committedTx lets the node answer duplicate proposals and complaints
+	// for already-committed transactions.
+	committedTx map[types.Digest]types.SeqNum
+
+	// --- Complaint / view-change trigger state ---
+	propSeen     map[types.Digest]*types.Prop    // proposals observed as a follower
+	comptSeen    map[types.Digest]types.ClientID // complaints observed (by tx digest)
+	comptProp    map[types.Digest]*types.Prop
+	comptExpired map[types.Digest]bool // own timer expired without commit
+	inspecting   *quorum.Collector     // my ConfVC awaiting f+1 ReVC
+	inspectView  types.View
+	policyFired  bool // my policy timer fired in this view
+
+	// replStopped marks that this server confirmed a view change out of
+	// the current view (sent or collected ReVC, or validated a campaign's
+	// conf_QC) and therefore stopped contributing replication votes in it.
+	// With f+1 confirmers out of the quorum, the old leader can no longer
+	// assemble 2f+1 replies, so log heights freeze and the candidate
+	// verification criteria C3/C4 evaluate against stable chains. Committed
+	// blocks (TxBlockMsg) still apply — they are certified results, not new
+	// progress.
+	replStopped bool
+
+	// --- Redeemer/candidate state ---
+	vPrime      types.View
+	campRP      int64
+	campCI      int64
+	confQC      types.QC
+	puzzleToken uint64
+	voteColl    *quorum.Collector
+	campMsg     *types.CampVC
+
+	// --- Leader VC state ---
+	vcYesColl      *quorum.Collector
+	pendingVcBlock *types.VcBlock
+
+	// --- Voting state (C1) ---
+	lastVotedView types.View
+	lastVotedFor  types.ServerID
+
+	// --- Refresh state (§4.2.5) ---
+	refColl     *quorum.Collector
+	refreshSent bool
+	refreshDone bool
+
+	// --- Sync state ---
+	syncing   bool
+	syncFrom  types.ServerID
+	syncStash []stashedMsg
+
+	tokenSeq uint64
+}
+
+type stashedMsg struct {
+	from consensus.Origin
+	msg  types.Message
+}
+
+// New creates a node. The ledger is seeded with the genesis blocks.
+func New(cfg Config) *Node {
+	c := cfg.withDefaults()
+	return &Node{
+		cfg:             c,
+		store:           ledger.NewStore(c.N, c.InitialLeader, c.StateMachine),
+		prepared:        make(map[types.SeqNum]*pendingProposal),
+		ordVoted:        make(map[types.SeqNum]types.View),
+		committedTx:     make(map[types.Digest]types.SeqNum),
+		propSeen:        make(map[types.Digest]*types.Prop),
+		comptSeen:       make(map[types.Digest]types.ClientID),
+		comptProp:       make(map[types.Digest]*types.Prop),
+		comptExpired:    make(map[types.Digest]bool),
+		pendingByDigest: make(map[types.Digest]bool),
+	}
+}
+
+// ID implements consensus.Replica.
+func (n *Node) ID() types.ServerID { return n.cfg.ID }
+
+// State returns the node's current role.
+func (n *Node) State() State { return n.state }
+
+// View returns the node's current view.
+func (n *Node) View() types.View { return n.store.CurrentView() }
+
+// CurrentLeader returns the leader of the node's current view.
+func (n *Node) CurrentLeader() types.ServerID { return n.store.CurrentLeader() }
+
+// Store exposes the node's ledger for inspection by tests, metrics, and
+// applications.
+func (n *Node) Store() *ledger.Store { return n.store }
+
+// ReputationPenalty returns the node's view of server id's current rp.
+func (n *Node) ReputationPenalty(id types.ServerID) int64 {
+	return n.store.LatestVcBlock().RP[id]
+}
+
+// Init implements consensus.Replica. The initial leader of view 1 is
+// considered confirmed by construction (genesis).
+func (n *Node) Init(now time.Duration) []consensus.Effect {
+	n.viewEnteredAt = now
+	var effs []consensus.Effect
+	if n.store.CurrentLeader() == n.cfg.ID {
+		n.state = Leader
+		n.leaderConfirmed = true
+	}
+	effs = append(effs, n.armPolicyTimer()...)
+	return effs
+}
+
+// armPolicyTimer arms the policy view-change timer for the current view,
+// randomized within [ViewPolicy+TimeoutMin, ViewPolicy+TimeoutMax] so that
+// servers do not campaign simultaneously (split-vote avoidance, §4.2.3).
+func (n *Node) armPolicyTimer() []consensus.Effect {
+	if n.cfg.ViewPolicy == 0 {
+		return nil
+	}
+	n.policyFired = false
+	jitter := n.randTimeout()
+	return []consensus.Effect{consensus.SetTimer{
+		Kind:  TimerPolicy,
+		Key:   uint64(n.View()),
+		Delay: n.cfg.ViewPolicy + jitter,
+	}}
+}
+
+// randTimeout draws a randomized timeout in [TimeoutMin, TimeoutMax].
+func (n *Node) randTimeout() time.Duration {
+	min, max := n.cfg.TimeoutMin, n.cfg.TimeoutMax
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(n.cfg.RNG.Int63n(int64(max-min)))
+}
+
+// sign signs canonical bytes with the node's key.
+func (n *Node) sign(b []byte) []byte { return n.cfg.Keys.Sign(b) }
+
+// quorumSize returns 2f+1.
+func (n *Node) quorumSize() int { return types.QuorumSize(n.cfg.N) }
+
+// confirmSize returns f+1.
+func (n *Node) confirmSize() int { return types.ConfirmSize(n.cfg.N) }
+
+// OnMessage implements consensus.Replica.
+func (n *Node) OnMessage(now time.Duration, from consensus.Origin, msg types.Message) []consensus.Effect {
+	if n.syncing {
+		// While syncing, only sync responses are processed; everything else
+		// is stashed and replayed once the chains catch up.
+		switch msg.(type) {
+		case *types.SyncResp, *types.SyncReq:
+		default:
+			if len(n.syncStash) < 4096 {
+				n.syncStash = append(n.syncStash, stashedMsg{from, msg})
+			}
+			return nil
+		}
+	}
+	switch m := msg.(type) {
+	// Client-facing.
+	case *types.Prop:
+		return n.onProp(now, from, m, false)
+	case *types.Compt:
+		return n.onCompt(now, from, m)
+
+	// View change.
+	case *types.ConfVC:
+		return n.onConfVC(now, m)
+	case *types.ReVC:
+		return n.onReVC(now, m)
+	case *types.CampVC:
+		return n.onCampVC(now, m)
+	case *types.VoteCP:
+		return n.onVoteCP(now, m)
+	case *types.VcBlockMsg:
+		return n.onVcBlock(now, m)
+	case *types.VcYes:
+		return n.onVcYes(now, m)
+
+	// Refresh.
+	case *types.Ref:
+		return n.onRef(now, m)
+	case *types.Rdone:
+		return n.onRdone(now, m)
+
+	// Replication.
+	case *types.Ord:
+		return n.onOrd(now, m)
+	case *types.OrdReply:
+		return n.onOrdReply(now, m)
+	case *types.Cmt:
+		return n.onCmt(now, m)
+	case *types.CmtReply:
+		return n.onCmtReply(now, m)
+	case *types.TxBlockMsg:
+		return n.onTxBlock(now, m)
+
+	// Sync.
+	case *types.SyncReq:
+		return n.onSyncReq(now, m)
+	case *types.SyncResp:
+		return n.onSyncResp(now, m)
+	}
+	return nil
+}
+
+// OnTimer implements consensus.Replica.
+func (n *Node) OnTimer(now time.Duration, kind consensus.TimerKind, key uint64) []consensus.Effect {
+	switch kind {
+	case TimerCompt:
+		return n.onComptTimeout(now, key)
+	case TimerConfVC:
+		return n.onConfVCTimeout(now, key)
+	case TimerElection:
+		return n.onElectionTimeout(now, key)
+	case TimerPolicy:
+		return n.onPolicyTimer(now, key)
+	case TimerBatch:
+		return n.onBatchTimer(now)
+	}
+	return nil
+}
+
+// trace emits a protocol trace effect.
+func (n *Node) trace(ev consensus.TraceEvent, v types.View, val int64) consensus.Effect {
+	return consensus.Trace{Event: ev, View: v, Server: n.cfg.ID, Value: val}
+}

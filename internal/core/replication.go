@@ -1,0 +1,290 @@
+package core
+
+import (
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/quorum"
+	"prestigebft/internal/types"
+)
+
+// --- Proposal intake ---------------------------------------------------------
+
+// onProp handles a client proposal (§4.3 "Invoking a consensus service").
+// Followers hold proposals only as complaint evidence; the leader batches
+// them into consensus instances.
+func (n *Node) onProp(now time.Duration, from consensus.Origin, m *types.Prop, relayed bool) []consensus.Effect {
+	if m.Tx.Digest() != m.D {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyClient(m.Tx.Client, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	if seq, ok := n.committedTx[m.D]; ok {
+		// Duplicate of a committed transaction: re-notify.
+		return []consensus.Effect{n.notifyClient(m.Tx.Client, seq, m.D, true)}
+	}
+	if n.state == Leader && n.leaderConfirmed {
+		return n.enqueueTx(now, m)
+	}
+	// Followers remember the proposal as evidence for a future complaint.
+	if _, seen := n.propSeen[m.D]; !seen {
+		n.propSeen[m.D] = m
+	}
+	return nil
+}
+
+// enqueueTx adds a verified transaction to the leader's batch queue and
+// starts an instance when a full batch is available.
+func (n *Node) enqueueTx(now time.Duration, m *types.Prop) []consensus.Effect {
+	if n.pendingByDigest[m.D] {
+		return nil
+	}
+	n.pendingByDigest[m.D] = true
+	n.pending = append(n.pending, m.Tx)
+	var effs []consensus.Effect
+	effs = append(effs, n.maybeStartInstance(now)...)
+	if n.inflight != nil || len(n.pending) > 0 {
+		if !n.batchArmed {
+			n.batchArmed = true
+			effs = append(effs, consensus.SetTimer{Kind: TimerBatch, Key: 0, Delay: n.cfg.BatchTimeout})
+		}
+	}
+	return effs
+}
+
+// onBatchTimer flushes a partial batch.
+func (n *Node) onBatchTimer(now time.Duration) []consensus.Effect {
+	n.batchArmed = false
+	var effs []consensus.Effect
+	effs = append(effs, n.maybeStartInstanceWith(now, true)...)
+	if len(n.pending) > 0 || n.inflight != nil {
+		n.batchArmed = true
+		effs = append(effs, consensus.SetTimer{Kind: TimerBatch, Key: 0, Delay: n.cfg.BatchTimeout})
+	}
+	return effs
+}
+
+// maybeStartInstance starts a replication instance when a full batch is
+// queued and no instance is in flight.
+func (n *Node) maybeStartInstance(now time.Duration) []consensus.Effect {
+	return n.maybeStartInstanceWith(now, false)
+}
+
+func (n *Node) maybeStartInstanceWith(now time.Duration, flush bool) []consensus.Effect {
+	if n.state != Leader || !n.leaderConfirmed || n.inflight != nil || len(n.pending) == 0 {
+		return nil
+	}
+	if !flush && len(n.pending) < n.cfg.BatchSize {
+		return nil
+	}
+	batch := n.pending
+	if len(batch) > n.cfg.BatchSize {
+		batch = batch[:n.cfg.BatchSize]
+		n.pending = append([]types.Transaction(nil), n.pending[n.cfg.BatchSize:]...)
+	} else {
+		n.pending = nil
+	}
+	prev := n.store.LatestTxBlock()
+	blk := &types.TxBlock{
+		Header: types.TxBlockHeader{
+			V:        n.View(),
+			N:        prev.Header.N + 1,
+			PrevHash: prev.Hash(),
+			BatchLen: uint32(len(batch)),
+		},
+		Txs: batch,
+	}
+	digest := blk.ContentDigest()
+	inst := &replInstance{
+		block:   blk,
+		digest:  digest,
+		ordColl: quorum.NewCollector(types.QCOrdering, blk.Header.V, blk.Header.N, digest, n.quorumSize()),
+		started: now,
+	}
+	inst.ordColl.Add(n.cfg.Registry, n.cfg.ID, n.sign(inst.ordColl.Statement()))
+	n.inflight = inst
+	ord := &types.Ord{From: n.cfg.ID, V: blk.Header.V, N: blk.Header.N, Prev: blk.Header.PrevHash, Txs: batch}
+	ord.Sig = n.sign(ord.SigningBytes())
+	return []consensus.Effect{consensus.Broadcast{Msg: ord}}
+}
+
+// --- Phase 1: ordering (§4.3) -------------------------------------------------
+
+// onOrd handles the leader's ordering message at a follower.
+func (n *Node) onOrd(now time.Duration, m *types.Ord) []consensus.Effect {
+	v := n.View()
+	if m.V < v {
+		return nil // never respond to a lower view (§4.3)
+	}
+	if m.V > v {
+		// We are stale in view changes; catch up from the sender.
+		return n.startSync(m.From, types.SyncVc, uint64(v), uint64(m.V), m)
+	}
+	if m.From != n.store.CurrentLeader() || n.state != Follower || n.replStopped {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	height := n.store.TxHeight()
+	if m.N <= height {
+		return nil // already committed
+	}
+	if m.N > height+1 {
+		// Missing txBlocks; catch up from the leader, then replay.
+		return n.startSync(m.From, types.SyncTx, uint64(height), uint64(m.N-1), m)
+	}
+	// "Verify that n has not been used" — at most one ordering vote per
+	// sequence number per view.
+	if usedV, used := n.ordVoted[m.N]; used && usedV == m.V {
+		return nil
+	}
+	n.ordVoted[m.N] = m.V
+	blk := types.TxBlock{
+		Header: types.TxBlockHeader{V: m.V, N: m.N, PrevHash: m.Prev, BatchLen: uint32(len(m.Txs))},
+		Txs:    m.Txs,
+	}
+	if blk.Header.PrevHash != n.store.LatestTxBlock().Hash() {
+		return nil
+	}
+	digest := blk.ContentDigest()
+	n.prepared[m.N] = &pendingProposal{block: blk, digest: digest}
+	rep := &types.OrdReply{From: n.cfg.ID, V: m.V, N: m.N, D: digest}
+	rep.Sig = n.sign(rep.SigningBytes())
+	return []consensus.Effect{consensus.Send{To: m.From, Msg: rep}}
+}
+
+// onOrdReply assembles ordering_QC at the leader.
+func (n *Node) onOrdReply(now time.Duration, m *types.OrdReply) []consensus.Effect {
+	inst := n.inflight
+	if inst == nil || inst.cmtColl != nil {
+		return nil
+	}
+	if m.V != inst.block.Header.V || m.N != inst.block.Header.N || m.D != inst.digest {
+		return nil
+	}
+	if !inst.ordColl.Add(n.cfg.Registry, m.From, m.Sig) {
+		return nil
+	}
+	ordQC := inst.ordColl.QC()
+	inst.block.OrderingQC = ordQC
+	inst.cmtColl = quorum.NewCollector(types.QCCommit, m.V, m.N, ordQC.Digest, n.quorumSize())
+	inst.cmtColl.Add(n.cfg.Registry, n.cfg.ID, n.sign(inst.cmtColl.Statement()))
+	cmt := &types.Cmt{From: n.cfg.ID, V: m.V, N: m.N, OrderingQC: ordQC}
+	cmt.Sig = n.sign(cmt.SigningBytes())
+	return []consensus.Effect{consensus.Broadcast{Msg: cmt}}
+}
+
+// --- Phase 2: commit ----------------------------------------------------------
+
+// onCmt verifies ordering_QC and replies with a commit vote.
+func (n *Node) onCmt(now time.Duration, m *types.Cmt) []consensus.Effect {
+	if m.V != n.View() || m.From != n.store.CurrentLeader() || n.state != Follower || n.replStopped {
+		return nil
+	}
+	prep, ok := n.prepared[m.N]
+	if !ok || prep.block.Header.V != m.V {
+		return nil
+	}
+	if m.OrderingQC.Kind != types.QCOrdering || m.OrderingQC.View != m.V ||
+		m.OrderingQC.Seq != m.N || m.OrderingQC.Digest != prep.digest {
+		return nil
+	}
+	if err := n.cfg.Registry.VerifyQC(&m.OrderingQC, n.quorumSize()); err != nil {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	prep.block.OrderingQC = m.OrderingQC
+	rep := &types.CmtReply{From: n.cfg.ID, V: m.V, N: m.N, D: prep.digest}
+	rep.Sig = n.sign(rep.SigningBytes())
+	return []consensus.Effect{consensus.Send{To: m.From, Msg: rep}}
+}
+
+// onCmtReply assembles commit_QC at the leader, commits the block, notifies
+// clients, and broadcasts the finished txBlock.
+func (n *Node) onCmtReply(now time.Duration, m *types.CmtReply) []consensus.Effect {
+	inst := n.inflight
+	if inst == nil || inst.cmtColl == nil {
+		return nil
+	}
+	if m.V != inst.block.Header.V || m.N != inst.block.Header.N || m.D != inst.digest {
+		return nil
+	}
+	if !inst.cmtColl.Add(n.cfg.Registry, m.From, m.Sig) {
+		return nil
+	}
+	inst.block.CommitQC = inst.cmtColl.QC()
+	n.inflight = nil
+	if err := n.store.AppendTxBlock(n.cfg.Registry, inst.block); err != nil {
+		return nil
+	}
+	committed := n.store.LatestTxBlock() // the stored copy carries Status
+	var effs []consensus.Effect
+	effs = append(effs, n.recordCommit(committed)...)
+	msg := &types.TxBlockMsg{From: n.cfg.ID, Block: *committed}
+	msg.Sig = n.sign(msg.SigningBytes())
+	effs = append(effs, consensus.Broadcast{Msg: msg})
+	effs = append(effs, consensus.Commit{Block: committed})
+	// Start the next instance immediately if a batch is waiting.
+	effs = append(effs, n.maybeStartInstance(now)...)
+	return effs
+}
+
+// onTxBlock commits a finished block at a follower ("Terminating consensus
+// instance": verify the txBlock, then notify the client).
+func (n *Node) onTxBlock(now time.Duration, m *types.TxBlockMsg) []consensus.Effect {
+	blk := &m.Block
+	height := n.store.TxHeight()
+	if blk.Header.N <= height {
+		return nil
+	}
+	if blk.Header.N > height+1 {
+		return n.startSync(m.From, types.SyncTx, uint64(height), uint64(blk.Header.N-1), m)
+	}
+	if err := n.store.AppendTxBlock(n.cfg.Registry, blk); err != nil {
+		return nil
+	}
+	committed := n.store.LatestTxBlock()
+	var effs []consensus.Effect
+	effs = append(effs, n.recordCommit(committed)...)
+	effs = append(effs, consensus.Commit{Block: committed})
+	return effs
+}
+
+// recordCommit updates commit bookkeeping and emits client notifications
+// for every transaction in the block.
+func (n *Node) recordCommit(blk *types.TxBlock) []consensus.Effect {
+	var effs []consensus.Effect
+	for i := range blk.Txs {
+		tx := &blk.Txs[i]
+		d := tx.Digest()
+		n.committedTx[d] = blk.Header.N
+		delete(n.pendingByDigest, d)
+		status := true
+		if i < len(blk.Status) {
+			status = blk.Status[i]
+		}
+		effs = append(effs, n.notifyClient(tx.Client, blk.Header.N, d, status))
+		// A commit settles any pending complaint for the transaction.
+		if _, ok := n.comptSeen[d]; ok {
+			effs = append(effs, consensus.CancelTimer{Kind: TimerCompt, Key: timerKeyFromDigest(d)})
+			delete(n.comptSeen, d)
+			delete(n.comptProp, d)
+			delete(n.comptExpired, d)
+		}
+		delete(n.propSeen, d)
+	}
+	delete(n.ordVoted, blk.Header.N)
+	delete(n.prepared, blk.Header.N)
+	return effs
+}
+
+// notifyClient builds the Notif effect for one transaction.
+func (n *Node) notifyClient(client types.ClientID, seq types.SeqNum, d types.Digest, status bool) consensus.Effect {
+	notif := &types.Notif{From: n.cfg.ID, V: n.View(), N: seq, TxD: d, Status: status}
+	notif.Sig = n.sign(notif.SigningBytes())
+	return consensus.SendClient{To: client, Msg: notif}
+}

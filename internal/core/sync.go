@@ -1,0 +1,196 @@
+package core
+
+import (
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/quorum"
+	"prestigebft/internal/types"
+)
+
+// --- SyncUp (§4.2.3) ---------------------------------------------------------
+//
+// Stale servers acquire missing blocks from a more up-to-date peer and
+// validate them through their QCs; blocks are self-certifying, so the peer
+// need not be trusted. The Algorithm 2 pseudocode is synchronous; this
+// implementation issues a SyncReq, stashes the message that exposed the
+// staleness, and replays stashed traffic once the chains catch up.
+
+// startSync requests blocks of the given kind in (start, end] from peer.
+// trigger, if non-nil, is replayed after the sync completes.
+func (n *Node) startSync(peer types.ServerID, kind types.SyncKind, start, end uint64, trigger types.Message) []consensus.Effect {
+	if trigger != nil && len(n.syncStash) < 4096 {
+		n.syncStash = append(n.syncStash, stashedMsg{consensus.FromServer(peer), trigger})
+	}
+	if n.syncing {
+		return nil // one sync at a time; the stash replay will re-trigger
+	}
+	n.syncing = true
+	n.syncFrom = peer
+	req := &types.SyncReq{From: n.cfg.ID, Kind: kind, Start: start, End: end}
+	return []consensus.Effect{
+		n.trace(consensus.TraceSyncUp, n.View(), int64(end-start)),
+		consensus.Send{To: peer, Msg: req},
+	}
+}
+
+// onSyncReq serves a peer's block request from the local chains.
+func (n *Node) onSyncReq(now time.Duration, m *types.SyncReq) []consensus.Effect {
+	resp := &types.SyncResp{From: n.cfg.ID, Kind: m.Kind}
+	switch m.Kind {
+	case types.SyncTx:
+		resp.TxBlocks = n.store.TxRange(types.SeqNum(m.Start+1), types.SeqNum(m.End))
+	case types.SyncVc:
+		resp.VcBlocks = n.store.VcRangeAfter(types.View(m.Start), types.View(m.End))
+	default:
+		return nil
+	}
+	if len(resp.TxBlocks) == 0 && len(resp.VcBlocks) == 0 {
+		return nil
+	}
+	return []consensus.Effect{consensus.Send{To: m.From, Msg: resp}}
+}
+
+// onSyncResp validates and applies fetched blocks, then replays stashed
+// messages.
+func (n *Node) onSyncResp(now time.Duration, m *types.SyncResp) []consensus.Effect {
+	if !n.syncing || m.From != n.syncFrom {
+		return nil
+	}
+	var effs []consensus.Effect
+	// Validate all blocks through their QCs (the SyncUp function of
+	// §4.2.3), then adopt.
+	for i := range m.VcBlocks {
+		blk := m.VcBlocks[i]
+		if blk.V <= n.store.CurrentView() {
+			continue
+		}
+		if err := n.store.AppendVcBlock(n.cfg.Registry, &blk); err != nil {
+			break // chain mismatch; stop adopting
+		}
+		effs = append(effs, n.trace(consensus.TraceViewInstalled, blk.V, int64(blk.LeaderID)))
+	}
+	for i := range m.TxBlocks {
+		blk := m.TxBlocks[i]
+		if blk.Header.N <= n.store.TxHeight() {
+			continue
+		}
+		if err := n.store.AppendTxBlock(n.cfg.Registry, &blk); err != nil {
+			break
+		}
+		effs = append(effs, n.recordCommit(n.store.LatestTxBlock())...)
+		effs = append(effs, consensus.Commit{Block: n.store.LatestTxBlock()})
+	}
+	// If vcBlocks advanced our view, reset per-view state: any campaign we
+	// were running is obsolete (a redeemer/candidate discovering a higher
+	// view transitions back to follower).
+	if len(m.VcBlocks) > 0 && n.store.CurrentView() > 0 {
+		if n.state == Redeemer {
+			effs = append(effs, consensus.AbortPuzzle{Token: n.puzzleToken})
+			n.state = Follower
+		}
+		if n.state == Candidate && n.store.CurrentView() >= n.vPrime {
+			effs = append(effs, consensus.CancelTimer{Kind: TimerElection, Key: uint64(n.vPrime)})
+			n.state = Follower
+		}
+		n.viewEnteredAt = now
+		effs = append(effs, n.armPolicyTimer()...)
+	}
+	n.syncing = false
+	n.syncFrom = 0
+	// Replay stashed messages against the updated chains.
+	stash := n.syncStash
+	n.syncStash = nil
+	for _, s := range stash {
+		effs = append(effs, n.OnMessage(now, s.from, s.msg)...)
+		if n.syncing {
+			break // a replayed message started another sync; the rest is stashed again
+		}
+	}
+	return effs
+}
+
+// --- Reputation refresh (§4.2.5) ----------------------------------------------
+
+// maybeRequestRefresh broadcasts a Ref when this server's penalty exceeds
+// the threshold π. Called after each view installation.
+func (n *Node) maybeRequestRefresh(now time.Duration) []consensus.Effect {
+	if n.cfg.RefreshThreshold <= 0 || n.refreshSent {
+		return nil
+	}
+	if n.store.LatestVcBlock().RP[n.cfg.ID] <= n.cfg.RefreshThreshold {
+		return nil
+	}
+	n.refreshSent = true
+	ref := &types.Ref{From: n.cfg.ID, V: n.View()}
+	ref.Sig = n.sign(ref.SigningBytes())
+	// Count our own Ref toward the quorum.
+	effs := n.acceptRef(n.cfg.ID, ref.Sig, ref.V)
+	effs = append(effs, consensus.Broadcast{Msg: ref})
+	return effs
+}
+
+// newRefCollector builds the rs_QC collector for view v.
+func newRefCollector(n *Node, v types.View) *quorum.Collector {
+	return quorum.NewCollector(types.QCRefresh, v, 0, types.Digest{}, n.quorumSize())
+}
+
+// onRef collects refresh requests. A server whose own rp exceeded π and
+// that observes 2f+1 Refs assembles rs_QC and resets itself.
+func (n *Node) onRef(now time.Duration, m *types.Ref) []consensus.Effect {
+	if m.V != n.View() {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	return n.acceptRef(m.From, m.Sig, m.V)
+}
+
+func (n *Node) acceptRef(from types.ServerID, sig []byte, v types.View) []consensus.Effect {
+	if n.cfg.RefreshThreshold <= 0 {
+		return nil
+	}
+	if n.refColl == nil {
+		n.refColl = newRefCollector(n, v)
+	}
+	n.refColl.Add(n.cfg.Registry, from, sig)
+	// 2f+1 Refs collected and we requested a refresh ourselves: reset.
+	// (The quorum may complete before or after our own Ref — both orders
+	// must finish, hence the explicit count check rather than relying on
+	// the collector's once-only threshold trigger.)
+	if !n.refreshSent || n.refreshDone || n.refColl.Count() < n.quorumSize() {
+		return nil
+	}
+	n.refreshDone = true
+	qc := n.refColl.QC()
+	n.store.UpdateReputation(n.cfg.ID, 1, 1)
+	rdone := &types.Rdone{From: n.cfg.ID, V: v, RsQC: qc, RP: 1, CI: 1}
+	rdone.Sig = n.sign(rdone.SigningBytes())
+	return []consensus.Effect{
+		n.trace(consensus.TraceRefresh, v, 1),
+		consensus.Broadcast{Msg: rdone},
+	}
+}
+
+// onRdone applies a completed refresh to the sender's reputation entries in
+// the current vcBlock.
+func (n *Node) onRdone(now time.Duration, m *types.Rdone) []consensus.Effect {
+	if n.cfg.RefreshThreshold <= 0 || m.V != n.View() {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	if m.RsQC.Kind != types.QCRefresh || m.RsQC.View != m.V {
+		return nil
+	}
+	if err := n.cfg.Registry.VerifyQC(&m.RsQC, n.quorumSize()); err != nil {
+		return nil
+	}
+	if m.RP != 1 || m.CI != 1 {
+		return nil // refresh resets to the initial values, nothing else
+	}
+	n.store.UpdateReputation(m.From, m.RP, m.CI)
+	return []consensus.Effect{n.trace(consensus.TraceRefresh, m.V, int64(m.From))}
+}

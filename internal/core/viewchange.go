@@ -1,0 +1,513 @@
+package core
+
+import (
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/quorum"
+	"prestigebft/internal/types"
+)
+
+// timerKeyFromDigest packs a digest prefix into a timer key.
+func timerKeyFromDigest(d types.Digest) uint64 {
+	return uint64(d[0])<<56 | uint64(d[1])<<48 | uint64(d[2])<<40 | uint64(d[3])<<32 |
+		uint64(d[4])<<24 | uint64(d[5])<<16 | uint64(d[6])<<8 | uint64(d[7])
+}
+
+// --- Complaints and failure detection (§4.2.1, Algo. 2 lines 1-14) ----------
+
+// onCompt handles a client complaint: verify, relay to the leader, and wait
+// for the transaction to commit before suspecting the leader.
+func (n *Node) onCompt(now time.Duration, from consensus.Origin, m *types.Compt) []consensus.Effect {
+	prop := &m.Prop
+	d := prop.Tx.Digest()
+	if d != prop.D {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyClient(prop.Tx.Client, prop.SigningBytes(), prop.Sig) {
+		return nil
+	}
+	var effs []consensus.Effect
+	// Already committed: re-notify the client, no inspection needed.
+	if seq, ok := n.committedTx[d]; ok {
+		effs = append(effs, n.notifyClient(prop.Tx.Client, seq, d, true))
+		return effs
+	}
+	first := false
+	if _, seen := n.comptSeen[d]; !seen {
+		n.comptSeen[d] = prop.Tx.Client
+		n.comptProp[d] = prop
+		first = true
+	}
+	if n.state == Leader && n.leaderConfirmed {
+		// The leader treats a complaint like a proposal (§4.3 phase 1: a
+		// consensus instance starts on Prop or f+1 Compt; handling the
+		// first relayed complaint directly is equivalent and simpler).
+		effs = append(effs, n.enqueueTx(now, prop)...)
+		return effs
+	}
+	if from.Client {
+		// Relay to the leader (line 2) and arm the inspection timer.
+		effs = append(effs, consensus.Send{To: n.store.CurrentLeader(), Msg: m})
+	}
+	if first {
+		// The wait is the follower's randomized timeout (§4.2.1: "a timer
+		// with a random timeout... sufficiently greater than Δ"). The
+		// randomization width is what suppresses split votes (Fig. 8).
+		effs = append(effs, consensus.SetTimer{
+			Kind:  TimerCompt,
+			Key:   timerKeyFromDigest(d),
+			Delay: n.randTimeout(),
+		})
+	}
+	return effs
+}
+
+// comptDigestByKey finds a tracked complaint digest matching a timer key.
+func (n *Node) comptDigestByKey(key uint64) (types.Digest, bool) {
+	for d := range n.comptSeen {
+		if timerKeyFromDigest(d) == key {
+			return d, true
+		}
+	}
+	return types.Digest{}, false
+}
+
+// onComptTimeout fires when a complained transaction failed to commit in
+// time: broadcast ConfVC to inspect the leader (line 6).
+func (n *Node) onComptTimeout(now time.Duration, key uint64) []consensus.Effect {
+	d, ok := n.comptDigestByKey(key)
+	if !ok {
+		return nil
+	}
+	if _, committed := n.committedTx[d]; committed {
+		return nil // leader is correct (line 5)
+	}
+	n.comptExpired[d] = true
+	if n.state != Follower {
+		return nil
+	}
+	return n.startInspection(now, types.ReasonComplaint, d, n.comptSeen[d])
+}
+
+// startInspection broadcasts a ConfVC and begins collecting ReVC replies.
+func (n *Node) startInspection(now time.Duration, reason types.ConfReason, txd types.Digest, client types.ClientID) []consensus.Effect {
+	v := n.View()
+	if n.inspecting != nil && n.inspectView == v {
+		return nil // already inspecting this view
+	}
+	n.inspectView = v
+	n.replStopped = true // confirming a view change stops replication in V
+	n.inspecting = quorum.NewCollector(types.QCConf, v, types.SeqNum(n.cfg.ID), types.Digest{}, n.confirmSize())
+	// Count our own confirmation.
+	n.inspecting.Add(n.cfg.Registry, n.cfg.ID, n.sign(n.inspecting.Statement()))
+	conf := &types.ConfVC{From: n.cfg.ID, V: v, Reason: reason, TxD: txd, Client: client}
+	conf.Sig = n.sign(conf.SigningBytes())
+	return []consensus.Effect{
+		consensus.Broadcast{Msg: conf},
+		consensus.SetTimer{Kind: TimerConfVC, Key: uint64(v), Delay: n.cfg.ConfVCTimeout},
+	}
+}
+
+// onConfVC answers another server's inspection (lines 12-14): confirm with a
+// ReVC only if we observed the same complaint, or — for policy-triggered
+// changes — if our own view lifetime has reached the policy period. This is
+// what prevents faulty servers from inflicting view changes on correct
+// followers under a correct leader (Theorem 4).
+func (n *Node) onConfVC(now time.Duration, m *types.ConfVC) []consensus.Effect {
+	if m.V != n.View() {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	confirm := false
+	switch m.Reason {
+	case types.ReasonComplaint:
+		// Confirm only if we observed the same complaint AND our own timer
+		// for it expired without a commit. Replying on sight of the
+		// complaint alone would let f colluders plus one hasty honest
+		// reply assemble conf_QC under a correct leader, violating
+		// leadership robustness (Theorem 4).
+		if cl, seen := n.comptSeen[m.TxD]; seen && cl == m.Client && n.comptExpired[m.TxD] {
+			if _, committed := n.committedTx[m.TxD]; !committed {
+				confirm = true
+			}
+		}
+	case types.ReasonPolicy:
+		if n.cfg.ViewPolicy > 0 && now-n.viewEnteredAt >= n.cfg.ViewPolicy {
+			confirm = true
+		}
+	}
+	if !confirm {
+		return nil
+	}
+	n.replStopped = true // confirming a view change stops replication in V
+	re := &types.ReVC{From: n.cfg.ID, To: m.From, V: m.V}
+	re.Sig = n.sign(re.SigningBytes())
+	return []consensus.Effect{consensus.Send{To: m.From, Msg: re}}
+}
+
+// onReVC collects confirmations for our inspection; f+1 form conf_QC and we
+// transition to redeemer (lines 8-9).
+func (n *Node) onReVC(now time.Duration, m *types.ReVC) []consensus.Effect {
+	if n.inspecting == nil || m.V != n.inspectView || m.To != n.cfg.ID {
+		return nil
+	}
+	if !n.inspecting.Add(n.cfg.Registry, m.From, m.Sig) {
+		return nil
+	}
+	qc := n.inspecting.QC()
+	n.inspecting = nil
+	var effs []consensus.Effect
+	effs = append(effs, consensus.CancelTimer{Kind: TimerConfVC, Key: uint64(m.V)})
+	effs = append(effs, n.becomeRedeemer(now, qc, n.View()+1)...)
+	return effs
+}
+
+// onConfVCTimeout abandons an inspection that could not gather f+1
+// confirmations; the complaining client is tagged as (possibly) faulty
+// (line 11). Client tagging is an application policy; the node simply drops
+// the inspection.
+func (n *Node) onConfVCTimeout(now time.Duration, key uint64) []consensus.Effect {
+	if n.inspecting != nil && uint64(n.inspectView) == key {
+		n.inspecting = nil
+	}
+	return nil
+}
+
+// onPolicyTimer fires the timing-policy view change for the current view.
+func (n *Node) onPolicyTimer(now time.Duration, key uint64) []consensus.Effect {
+	if types.View(key) != n.View() || n.cfg.ViewPolicy == 0 {
+		return nil
+	}
+	n.policyFired = true
+	if n.state != Follower {
+		return nil // the leader rotates out; redeemers/candidates already campaign
+	}
+	return n.startInspection(now, types.ReasonPolicy, types.Digest{}, 0)
+}
+
+// --- Redeemer (§4.2.2, Algo. 2 lines 31-41) ---------------------------------
+
+// becomeRedeemer computes the reputation penalty for the next view and
+// starts the reputation-determined computation.
+func (n *Node) becomeRedeemer(now time.Duration, confQC types.QC, vPrime types.View) []consensus.Effect {
+	// Consult the reputation engine (line 33). The engine reads chain
+	// state; nothing is persisted unless this server is elected.
+	res := n.cfg.Engine.CalcRP(vPrime, n.store.Snapshot(n.cfg.ID, int64(n.store.TxHeight())))
+	if n.cfg.CampaignGate != nil && !n.cfg.CampaignGate(res) {
+		n.state = Follower
+		return nil
+	}
+	n.state = Redeemer
+	n.confQC = confQC
+	n.vPrime = vPrime
+	n.campRP = res.RP
+	n.campCI = res.CI
+	// Replication in V stops (line 34): drop any in-flight instance.
+	n.inflight = nil
+	n.tokenSeq++
+	n.puzzleToken = n.tokenSeq
+	seed := crypto.PuzzleSeed(n.store.LatestTxBlock().Hash(), vPrime)
+	return []consensus.Effect{
+		n.trace(consensus.TraceViewChangeStart, vPrime, n.campRP),
+		consensus.StartPuzzle{Token: n.puzzleToken, Seed: seed, RP: n.campRP},
+	}
+}
+
+// OnPuzzleSolved implements consensus.Replica: the redeemer finished its
+// computation and becomes a candidate (lines 39-41).
+func (n *Node) OnPuzzleSolved(now time.Duration, token uint64, nonce []byte, hr types.Digest) []consensus.Effect {
+	if n.state != Redeemer || token != n.puzzleToken {
+		return nil
+	}
+	return n.becomeCandidate(now, nonce, hr)
+}
+
+// becomeCandidate broadcasts the campaign and waits for 2f+1 votes
+// (lines 42-47).
+func (n *Node) becomeCandidate(now time.Duration, nonce []byte, hr types.Digest) []consensus.Effect {
+	n.state = Candidate
+	latest := n.store.LatestTxBlock()
+	camp := &types.CampVC{
+		From:   n.cfg.ID,
+		ConfQC: n.confQC,
+		V:      n.View(),
+		VPrime: n.vPrime,
+		RP:     n.campRP,
+		CI:     n.campCI,
+		Nonce:  nonce,
+		HR:     hr,
+		TxN:    latest.Header.N,
+		TxHash: latest.Hash(),
+		VcN:    n.View(),
+	}
+	camp.Sig = n.sign(camp.SigningBytes())
+	n.campMsg = camp
+	n.voteColl = quorum.NewCollector(types.QCVote, n.vPrime, types.SeqNum(n.cfg.ID), types.Digest{}, n.quorumSize())
+	// A candidate votes for itself, but only if it has not already voted in
+	// this view for a competitor's campaign (C1 binds candidates too —
+	// double voting would let two vc_QCs overlap and break P1).
+	if n.lastVotedView < n.vPrime {
+		n.lastVotedView = n.vPrime
+		n.lastVotedFor = n.cfg.ID
+		n.voteColl.Add(n.cfg.Registry, n.cfg.ID, n.sign(n.voteColl.Statement()))
+	}
+	return []consensus.Effect{
+		n.trace(consensus.TraceCandidate, n.vPrime, n.campRP),
+		consensus.Broadcast{Msg: camp},
+		consensus.SetTimer{Kind: TimerElection, Key: uint64(n.vPrime), Delay: n.randTimeout()},
+	}
+}
+
+// onElectionTimeout handles a failed election: split votes may have
+// occurred; the candidate transitions back to redeemer with an incremented
+// view (line 48).
+func (n *Node) onElectionTimeout(now time.Duration, key uint64) []consensus.Effect {
+	if n.state != Candidate || uint64(n.vPrime) != key {
+		return nil
+	}
+	effs := []consensus.Effect{n.trace(consensus.TraceSplitVote, n.vPrime, 0)}
+	effs = append(effs, n.becomeRedeemer(now, n.confQC, n.vPrime+1)...)
+	return effs
+}
+
+// --- Voting (§4.2.3, Algo. 2 lines 15-30) ------------------------------------
+
+// onCampVC applies the voting criteria C1-C5 and votes for valid candidates.
+func (n *Node) onCampVC(now time.Duration, m *types.CampVC) []consensus.Effect {
+	myView := n.View()
+	if m.VPrime <= myView { // line 16: stale campaign
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+		return nil
+	}
+	// C1: vote at most once per view (line 17).
+	if n.lastVotedView >= m.VPrime {
+		return nil
+	}
+	// C2: the view change must have been confirmed by f+1 servers
+	// (line 18). The conf_QC certifies the view the campaign departed from.
+	if m.ConfQC.Kind != types.QCConf || m.ConfQC.View != m.V {
+		return nil
+	}
+	if err := n.cfg.Registry.VerifyQC(&m.ConfQC, n.confirmSize()); err != nil {
+		return nil
+	}
+	// A valid conf_QC proves f+1 servers confirmed this view change:
+	// replication in the old view is over for us too.
+	if m.V == myView {
+		n.replStopped = true
+	}
+	// Sync up view changes if the candidate is ahead (lines 19-20).
+	if m.V > myView {
+		return n.startSync(m.From, types.SyncVc, uint64(myView), uint64(m.V), m)
+	}
+	// C3: the candidate's replication must be at least as up-to-date as
+	// ours (lines 21-24).
+	myHeight := n.store.TxHeight()
+	if m.TxN < myHeight {
+		return nil
+	}
+	if m.TxN > myHeight {
+		return n.startSync(m.From, types.SyncTx, uint64(myHeight), uint64(m.TxN), m)
+	}
+	// Heights equal: the chain hash must match (safety guarantees equal
+	// committed prefixes among correct servers).
+	if m.TxHash != n.store.LatestTxBlock().Hash() {
+		return nil
+	}
+	// C4: recalculate and verify the candidate's rp and ci (lines 25-27).
+	res := n.cfg.Engine.CalcRP(m.VPrime, n.store.Snapshot(m.From, int64(m.TxN)))
+	if res.CI != m.CI || res.RP != m.RP {
+		return nil
+	}
+	// C5: verify the performed computation matches the penalty
+	// (lines 28-29). One hash — O(1). A negative PuzzleBitsPerRP disables
+	// the prefix check (simulator mode; difficulty lives in the time
+	// model) but the hash recomputation still binds hr to the seed.
+	bits := int(m.RP) * n.cfg.PuzzleBitsPerRP
+	if n.cfg.PuzzleBitsPerRP < 0 {
+		bits = 0
+	}
+	seed := crypto.PuzzleSeed(m.TxHash, m.VPrime)
+	if !crypto.VerifyPuzzle(seed, m.Nonce, m.HR, bits) {
+		return nil
+	}
+	// Vote (line 30).
+	n.lastVotedView = m.VPrime
+	n.lastVotedFor = m.From
+	vote := &types.VoteCP{From: n.cfg.ID, Cand: m.From, VPrime: m.VPrime}
+	vote.Sig = n.sign(vote.SigningBytes())
+	return []consensus.Effect{consensus.Send{To: m.From, Msg: vote}}
+}
+
+// onVoteCP collects election votes; 2f+1 form vc_QC and the candidate
+// becomes the leader (lines 46-47).
+func (n *Node) onVoteCP(now time.Duration, m *types.VoteCP) []consensus.Effect {
+	if n.state != Candidate || m.VPrime != n.vPrime || m.Cand != n.cfg.ID {
+		return nil
+	}
+	if !n.voteColl.Add(n.cfg.Registry, m.From, m.Sig) {
+		return nil
+	}
+	return n.becomeLeader(now)
+}
+
+// --- Leader (§4.2.4, Algo. 2 lines 49-54) ------------------------------------
+
+// becomeLeader prepares and broadcasts the new vcBlock. Replication starts
+// only after 2f+1 vcYes confirm the block.
+func (n *Node) becomeLeader(now time.Duration) []consensus.Effect {
+	n.state = Leader
+	n.leaderConfirmed = false
+	vcQC := n.voteColl.QC()
+	prev := n.store.LatestVcBlock()
+	rp, ci := prev.CloneReputation()
+	// Only the elected leader's rp and ci change (§4.2.4).
+	rp[n.cfg.ID] = n.campRP
+	ci[n.cfg.ID] = n.campCI
+	blk := &types.VcBlock{
+		V:        n.vPrime,
+		LeaderID: n.cfg.ID,
+		PrevHash: prev.Hash(),
+		ConfQC:   n.confQC,
+		VcQC:     vcQC,
+		RP:       rp,
+		CI:       ci,
+	}
+	n.pendingVcBlock = blk
+	n.vcYesColl = quorum.NewCollector(types.QCGeneric, blk.V, 0, blk.Hash(), n.quorumSize())
+	n.vcYesColl.Add(n.cfg.Registry, n.cfg.ID, n.sign(n.vcYesColl.Statement()))
+	msg := &types.VcBlockMsg{From: n.cfg.ID, Block: *blk}
+	msg.Sig = n.sign(msg.SigningBytes())
+	return []consensus.Effect{
+		consensus.CancelTimer{Kind: TimerElection, Key: uint64(n.vPrime)},
+		consensus.Broadcast{Msg: msg},
+	}
+}
+
+// onVcYes completes VC consensus at the new leader (lines 53-54): the leader
+// stores the vcBlock and resumes replication in the new view.
+func (n *Node) onVcYes(now time.Duration, m *types.VcYes) []consensus.Effect {
+	if n.state != Leader || n.leaderConfirmed || n.pendingVcBlock == nil {
+		return nil
+	}
+	if m.V != n.pendingVcBlock.V || m.BlockHash != n.pendingVcBlock.Hash() {
+		return nil
+	}
+	if !n.vcYesColl.Add(n.cfg.Registry, m.From, m.Sig) {
+		return nil
+	}
+	blk := n.pendingVcBlock
+	n.pendingVcBlock = nil
+	n.vcYesColl = nil
+	if err := n.store.AppendVcBlock(n.cfg.Registry, blk); err != nil {
+		// Should be impossible: we built the block from our own chain tip.
+		n.state = Follower
+		return nil
+	}
+	n.leaderConfirmed = true
+	effs := n.enterView(now, true)
+	effs = append(effs,
+		n.trace(consensus.TraceElected, blk.V, n.campRP),
+		n.trace(consensus.TraceRPChange, blk.V, n.campRP),
+	)
+	// Outstanding complaints become this leader's backlog (§4.3: an
+	// instance starts on Prop or f+1 Compt messages).
+	for d, prop := range n.comptProp {
+		if _, committed := n.committedTx[d]; !committed {
+			effs = append(effs, n.enqueueTx(now, prop)...)
+		}
+	}
+	// Kick replication for any backlog.
+	effs = append(effs, n.maybeStartInstanceWith(now, true)...)
+	return effs
+}
+
+// onVcBlock validates and adopts a new leader's vcBlock (the Receiving
+// procedure in §4.2.4).
+func (n *Node) onVcBlock(now time.Duration, m *types.VcBlockMsg) []consensus.Effect {
+	blk := &m.Block
+	cur := n.store.LatestVcBlock()
+	if blk.V <= cur.V {
+		return nil
+	}
+	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) || m.From != blk.LeaderID {
+		return nil
+	}
+	// Stale in view changes: the block must extend our chain tip. If not,
+	// we are missing vcBlocks — sync from the new leader.
+	if blk.PrevHash != cur.Hash() {
+		return n.startSync(m.From, types.SyncVc, uint64(cur.V), uint64(blk.V), m)
+	}
+	if err := n.store.ValidateVcBlockQCs(n.cfg.Registry, blk); err != nil {
+		return nil
+	}
+	// The only change from our current reputation fragment must be the
+	// leader's own rp and ci.
+	if !blk.ReputationEqualExcept(cur, blk.LeaderID) {
+		return nil
+	}
+	if err := n.store.AppendVcBlock(n.cfg.Registry, blk); err != nil {
+		return nil
+	}
+	// Adopt: abort any campaign activity and operate in the new view.
+	yes := &types.VcYes{From: n.cfg.ID, V: blk.V, BlockHash: blk.Hash()}
+	yes.Sig = n.sign(yes.SigningBytes())
+	effs := []consensus.Effect{consensus.Send{To: blk.LeaderID, Msg: yes}}
+	effs = append(effs, n.enterView(now, false)...)
+	effs = append(effs,
+		n.trace(consensus.TraceViewInstalled, blk.V, int64(blk.LeaderID)),
+		n.trace(consensus.TraceRPChange, blk.V, blk.RP[n.cfg.ID]),
+	)
+	return effs
+}
+
+// enterView resets per-view state after a vcBlock is installed. asLeader
+// marks the confirmed new leader; everyone else becomes a follower
+// (redeemers abort their computation, candidates their election).
+func (n *Node) enterView(now time.Duration, asLeader bool) []consensus.Effect {
+	var effs []consensus.Effect
+	if !asLeader {
+		if n.state == Redeemer {
+			effs = append(effs, consensus.AbortPuzzle{Token: n.puzzleToken})
+		}
+		if n.state == Candidate {
+			effs = append(effs, consensus.CancelTimer{Kind: TimerElection, Key: uint64(n.vPrime)})
+		}
+		n.state = Follower
+		n.leaderConfirmed = false
+	}
+	n.viewEnteredAt = now
+	n.inspecting = nil
+	n.inflight = nil
+	n.replStopped = false
+	n.pendingVcBlock = nil
+	n.vcYesColl = nil
+	n.voteColl = nil
+	n.campMsg = nil
+	n.refColl = nil
+	n.refreshSent = false
+	n.refreshDone = false
+	n.prepared = make(map[types.SeqNum]*pendingProposal)
+	effs = append(effs, n.armPolicyTimer()...)
+	// Unserved complaints carry into the new view: re-arm their timers so
+	// the new leader is held to them too (liveness across faulty leaders).
+	for d := range n.comptSeen {
+		if _, committed := n.committedTx[d]; committed {
+			continue
+		}
+		delete(n.comptExpired, d)
+		effs = append(effs, consensus.SetTimer{
+			Kind:  TimerCompt,
+			Key:   timerKeyFromDigest(d),
+			Delay: n.randTimeout(),
+		})
+	}
+	effs = append(effs, n.maybeRequestRefresh(now)...)
+	return effs
+}

@@ -1,0 +1,194 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prestigebft/internal/types"
+)
+
+func TestDeploymentDeterminism(t *testing.T) {
+	r1, s1, c1 := GenerateDeployment(9, 4, 2)
+	r2, s2, c2 := GenerateDeployment(9, 4, 2)
+	if r1.NumServers() != 4 || r2.NumServers() != 4 {
+		t.Fatal("wrong server count")
+	}
+	msg := []byte("hello")
+	for id := types.ServerID(1); id <= 4; id++ {
+		sig1 := s1[id].Sign(msg)
+		sig2 := s2[id].Sign(msg)
+		if string(sig1) != string(sig2) {
+			t.Fatalf("server %d keys differ across identical seeds", id)
+		}
+	}
+	if string(c1[1].Sign(msg)) != string(c2[1].Sign(msg)) {
+		t.Fatal("client keys differ across identical seeds")
+	}
+	// Different seeds must differ.
+	_, s3, _ := GenerateDeployment(10, 4, 2)
+	if string(s1[1].Sign(msg)) == string(s3[1].Sign(msg)) {
+		t.Fatal("different seeds produced identical keys")
+	}
+	// Server and client key spaces must not collide.
+	if string(s1[1].Sign(msg)) == string(c1[1].Sign(msg)) {
+		t.Fatal("server 1 and client 1 share a key")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	reg, servers, clients := GenerateDeployment(3, 4, 2)
+	msg := []byte("statement")
+	sig := servers[2].Sign(msg)
+	if !reg.VerifyServer(2, msg, sig) {
+		t.Fatal("valid server signature rejected")
+	}
+	if reg.VerifyServer(3, msg, sig) {
+		t.Fatal("signature accepted for wrong server")
+	}
+	if reg.VerifyServer(2, []byte("other"), sig) {
+		t.Fatal("signature accepted for wrong message")
+	}
+	if reg.VerifyServer(99, msg, sig) {
+		t.Fatal("unknown server accepted")
+	}
+	csig := clients[1].Sign(msg)
+	if !reg.VerifyClient(1, msg, csig) {
+		t.Fatal("valid client signature rejected")
+	}
+	if reg.VerifyClient(2, msg, csig) {
+		t.Fatal("client signature accepted for wrong client")
+	}
+}
+
+func TestVerificationDisabledMode(t *testing.T) {
+	reg, _, _ := GenerateDeployment(3, 4, 1)
+	reg.VerifySignatures = false
+	if !reg.VerifyServer(1, []byte("m"), []byte("any")) {
+		t.Fatal("disabled mode must accept non-empty signatures")
+	}
+	if reg.VerifyServer(1, []byte("m"), nil) {
+		t.Fatal("disabled mode must still reject empty signatures (corruption marker)")
+	}
+}
+
+func TestVerifyQC(t *testing.T) {
+	reg, servers, _ := GenerateDeployment(5, 4, 0)
+	stmt := types.QCStatementBytes(types.QCCommit, 2, 5, types.Digest{9})
+	qc := types.QC{Kind: types.QCCommit, View: 2, Seq: 5, Digest: types.Digest{9}}
+	for id := types.ServerID(1); id <= 3; id++ {
+		qc.Signers = append(qc.Signers, id)
+		qc.Sigs = append(qc.Sigs, servers[id].Sign(stmt))
+	}
+	if err := reg.VerifyQC(&qc, 3); err != nil {
+		t.Fatalf("valid QC rejected: %v", err)
+	}
+	if err := reg.VerifyQC(&qc, 4); err == nil {
+		t.Fatal("under-threshold QC accepted")
+	}
+	// Duplicate signers must not count twice.
+	dup := qc
+	dup.Signers = []types.ServerID{1, 1, 2}
+	dup.Sigs = [][]byte{qc.Sigs[0], qc.Sigs[0], qc.Sigs[1]}
+	if err := reg.VerifyQC(&dup, 3); err == nil {
+		t.Fatal("duplicate-signer QC accepted")
+	}
+	// A corrupted signature must fail.
+	bad := qc
+	bad.Sigs = [][]byte{qc.Sigs[0], qc.Sigs[1], servers[3].Sign([]byte("other"))}
+	if err := reg.VerifyQC(&bad, 3); err == nil {
+		t.Fatal("QC with invalid signature accepted")
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	cases := []struct {
+		d    types.Digest
+		bits int
+	}{
+		{types.Digest{0x80}, 0},
+		{types.Digest{0x40}, 1},
+		{types.Digest{0x01}, 7},
+		{types.Digest{0x00, 0x80}, 8},
+		{types.Digest{0x00, 0x00, 0x20}, 18},
+	}
+	for _, c := range cases {
+		if got := LeadingZeroBits(c.d); got != c.bits {
+			t.Errorf("LeadingZeroBits(%v...) = %d, want %d", c.d[:3], got, c.bits)
+		}
+	}
+	var zero types.Digest
+	if got := LeadingZeroBits(zero); got != 256 {
+		t.Errorf("all-zero digest: %d bits, want 256", got)
+	}
+}
+
+func TestPuzzleSolveVerifyRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seed := PuzzleSeed(types.Digest{7}, 12)
+	for _, bits := range []int{0, 4, 8, 12} {
+		nonce, hr, iters := SolvePuzzle(seed, bits, rng)
+		if !VerifyPuzzle(seed, nonce, hr, bits) {
+			t.Fatalf("solve/verify roundtrip failed at %d bits", bits)
+		}
+		if bits > 0 && iters == 0 {
+			t.Fatal("no iterations recorded")
+		}
+		// Verification must bind the seed.
+		if VerifyPuzzle(PuzzleSeed(types.Digest{8}, 12), nonce, hr, bits) {
+			t.Fatal("verification ignores seed")
+		}
+		// And the claimed hash.
+		var wrong types.Digest
+		if VerifyPuzzle(seed, nonce, wrong, bits) && !hr.IsZero() {
+			t.Fatal("verification ignores claimed hash")
+		}
+	}
+}
+
+func TestPuzzleSeedBindsView(t *testing.T) {
+	// Work for one view must not be reusable for another (campaign replay).
+	s1 := PuzzleSeed(types.Digest{1}, 5)
+	s2 := PuzzleSeed(types.Digest{1}, 6)
+	if string(s1) == string(s2) {
+		t.Fatal("puzzle seed ignores the campaigned view")
+	}
+}
+
+func TestExpectedIterations(t *testing.T) {
+	if ExpectedIterations(0) != 1 || ExpectedIterations(-3) != 1 {
+		t.Fatal("non-positive difficulty should cost one hash")
+	}
+	if ExpectedIterations(10) != 1024 {
+		t.Fatalf("2^10 = %v", ExpectedIterations(10))
+	}
+}
+
+func TestPropertyPuzzleIterationsScale(t *testing.T) {
+	// Statistical sanity: average iterations at `bits` difficulty is near
+	// 2^bits (loose bounds; deterministic seed).
+	rng := rand.New(rand.NewSource(17))
+	const bits = 8
+	var total uint64
+	const rounds = 200
+	seed := []byte("scale-test")
+	for i := 0; i < rounds; i++ {
+		_, _, iters := SolvePuzzle(append(seed, byte(i)), bits, rng)
+		total += iters
+	}
+	mean := float64(total) / rounds
+	if mean < 100 || mean > 600 {
+		t.Fatalf("mean iterations at 8 bits = %v, want ~256", mean)
+	}
+}
+
+func TestPropertyCheckPrefixConsistent(t *testing.T) {
+	f := func(raw [32]byte, bitsRaw uint8) bool {
+		d := types.Digest(raw)
+		bits := int(bitsRaw % 40)
+		return CheckPrefix(d, bits) == (LeadingZeroBits(d) >= bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

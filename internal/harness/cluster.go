@@ -1,0 +1,512 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"prestigebft/internal/client"
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/core"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/faults"
+	"prestigebft/internal/ledger"
+	"prestigebft/internal/reputation"
+	"prestigebft/internal/sim"
+	"prestigebft/internal/types"
+)
+
+// Protocol selects the consensus implementation under test.
+type Protocol string
+
+const (
+	// PrestigeBFT is the paper's algorithm ("pb").
+	PrestigeBFT Protocol = "prestige"
+	// HotStuff is the 3-phase passive-view-change baseline ("hs").
+	HotStuff Protocol = "hotstuff"
+	// SBFT is the linear dual-path baseline ("sb").
+	SBFT Protocol = "sbft"
+	// Prosecutor is the PoW-penalization baseline ("pr").
+	Prosecutor Protocol = "prosecutor"
+)
+
+// ReplicaFactory builds one replica for a baseline protocol. Registered by
+// the baseline packages through RegisterProtocol to avoid import cycles.
+type ReplicaFactory func(env FactoryEnv) consensus.Replica
+
+// FactoryEnv carries everything a baseline replica constructor needs.
+type FactoryEnv struct {
+	ID       types.ServerID
+	N        int
+	Keys     *crypto.KeyPair
+	Registry *crypto.Registry
+	Opts     *Options
+	RNG      *rand.Rand
+}
+
+var protocolFactories = map[Protocol]ReplicaFactory{}
+
+// RegisterProtocol installs a baseline's replica factory.
+func RegisterProtocol(p Protocol, f ReplicaFactory) { protocolFactories[p] = f }
+
+// Options configures a simulated cluster.
+type Options struct {
+	Protocol Protocol
+	N        int
+	Clients  int
+	Seed     int64
+
+	// BatchSize is the paper's β.
+	BatchSize int
+	// PayloadSize is the paper's m in bytes.
+	PayloadSize int
+
+	// Net configures the fabric; the zero value selects the paper's
+	// testbed profile (≤2 ms raw latency, 400 MB/s links).
+	Net sim.NetworkConfig
+	// Cost configures the CPU model; the zero value selects defaults.
+	Cost sim.CostModel
+
+	// ViewPolicy enables the timing rotation policy (r10/r30). Zero
+	// disables it.
+	ViewPolicy time.Duration
+	// TimeoutMin/TimeoutMax bound the randomized follower timeout.
+	// Defaults 800 ms / 1200 ms.
+	TimeoutMin time.Duration
+	TimeoutMax time.Duration
+	// ClientTimeout is the complaint timeout. Default 2 s.
+	ClientTimeout time.Duration
+	// RefreshThreshold is π; zero disables refreshes.
+	RefreshThreshold int64
+
+	// Faults assigns Byzantine behavior per server.
+	Faults map[types.ServerID]faults.Spec
+	// TimeoutAttack enables F1: each faulty server draws its timeouts from
+	// an RNG seeded identically to a randomly chosen correct server's.
+	TimeoutAttack bool
+
+	// ModelBitsPerRP is the proof-of-work difficulty (zero bits per rp
+	// unit) used by the virtual solve-time model. Default 4, calibrated to
+	// the paper's measured attack costs (see core.Config.PuzzleBitsPerRP).
+	// The replicas verify with PuzzleBits < 0 in simulation: difficulty is
+	// carried by the time model (DESIGN.md §4).
+	ModelBitsPerRP int
+
+	// ClientThinkTime throttles clients: delay between a commit and the
+	// next request. Zero keeps clients fully closed-loop.
+	ClientThinkTime time.Duration
+
+	// ClientPayload, if non-nil, generates each client's transaction
+	// bodies (applications drive real workloads through it); nil clients
+	// send PayloadSize zero bytes.
+	ClientPayload func(id types.ClientID, seq int) []byte
+
+	// VerifySignatures enables real ed25519 verification inside the
+	// simulation. Protocol tests turn it on; large performance sweeps leave
+	// it off and rely on the CPU cost model for timing.
+	VerifySignatures bool
+
+	// MaxRequestsPerClient stops each client after that many commits.
+	MaxRequestsPerClient int
+
+	// StateMachine builds the per-replica application; nil = AcceptAll.
+	StateMachine func() ledger.StateMachine
+
+	// Engine builds the per-replica reputation engine; nil = defaults.
+	Engine func() *reputation.Engine
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Protocol == "" {
+		out.Protocol = PrestigeBFT
+	}
+	if out.N == 0 {
+		out.N = 4
+	}
+	if out.Clients == 0 {
+		out.Clients = 16
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.BatchSize == 0 {
+		out.BatchSize = 100
+	}
+	if out.PayloadSize == 0 {
+		out.PayloadSize = 32
+	}
+	if out.Net.Latency == nil {
+		out.Net = sim.DefaultNetworkConfig()
+	}
+	if out.Cost == (sim.CostModel{}) {
+		out.Cost = sim.DefaultCostModel()
+	}
+	if out.TimeoutMin == 0 {
+		out.TimeoutMin = 800 * time.Millisecond
+	}
+	if out.TimeoutMax == 0 {
+		out.TimeoutMax = 1200 * time.Millisecond
+	}
+	if out.ClientTimeout == 0 {
+		out.ClientTimeout = 2 * time.Second
+	}
+	if out.ModelBitsPerRP == 0 {
+		out.ModelBitsPerRP = 4
+	}
+	return out
+}
+
+// Cluster is one simulated deployment.
+type Cluster struct {
+	Opts    Options
+	Sched   *sim.Scheduler
+	Net     *sim.Network
+	Metrics *Metrics
+
+	Registry *crypto.Registry
+	Replicas []consensus.Replica // wrapped replicas, index = ServerID-1
+	Nodes    []*core.Node        // PrestigeBFT nodes (nil entries for baselines)
+	Wrappers []*faults.Wrapper   // fault wrappers (nil for correct servers)
+	Clients  []*client.Client
+
+	runtimes []*simRuntime
+}
+
+// NewCluster builds a deployment. Call Start, then Run.
+func NewCluster(opts Options) *Cluster {
+	o := opts.withDefaults()
+	sched := sim.NewScheduler(o.Seed)
+	net := sim.NewNetwork(sched, o.Net)
+	reg, serverKeys, clientKeys := crypto.GenerateDeployment(uint64(o.Seed)+0x5eed, o.N, o.Clients)
+	reg.VerifySignatures = o.VerifySignatures
+
+	c := &Cluster{
+		Opts:     o,
+		Sched:    sched,
+		Net:      net,
+		Metrics:  NewMetrics(sched),
+		Registry: reg,
+		Replicas: make([]consensus.Replica, o.N),
+		Nodes:    make([]*core.Node, o.N),
+		Wrappers: make([]*faults.Wrapper, o.N),
+	}
+
+	// F1 victim assignment: faulty servers mirror the timeout RNG of f
+	// randomly picked correct servers.
+	seedRNG := rand.New(rand.NewSource(o.Seed * 7919))
+	rngSeed := make([]int64, o.N+1)
+	var correct []types.ServerID
+	for i := 1; i <= o.N; i++ {
+		rngSeed[i] = o.Seed<<16 + int64(i)
+		if !o.Faults[types.ServerID(i)].IsFaulty() {
+			correct = append(correct, types.ServerID(i))
+		}
+	}
+	if o.TimeoutAttack && len(correct) > 0 {
+		for i := 1; i <= o.N; i++ {
+			if o.Faults[types.ServerID(i)].IsFaulty() {
+				victim := correct[seedRNG.Intn(len(correct))]
+				rngSeed[i] = rngSeed[victim]
+			}
+		}
+	}
+
+	for i := 1; i <= o.N; i++ {
+		id := types.ServerID(i)
+		spec := o.Faults[id]
+		nodeRNG := rand.New(rand.NewSource(rngSeed[i]))
+
+		var replica consensus.Replica
+		var node *core.Node
+		if o.Protocol == PrestigeBFT {
+			cfg := core.Config{
+				ID:               id,
+				N:                o.N,
+				Keys:             serverKeys[id],
+				Registry:         reg,
+				BatchSize:        o.BatchSize,
+				TimeoutMin:       o.TimeoutMin,
+				TimeoutMax:       o.TimeoutMax,
+				ViewPolicy:       o.ViewPolicy,
+				RefreshThreshold: o.RefreshThreshold,
+				PuzzleBitsPerRP:  -1, // simulation: difficulty enforced by the time model
+				RNG:              nodeRNG,
+			}
+			if o.StateMachine != nil {
+				cfg.StateMachine = o.StateMachine()
+			}
+			if o.Engine != nil {
+				cfg.Engine = o.Engine()
+			}
+			if spec.RepeatedVC {
+				// The attacker's levers: minimal trigger delay (campaign
+				// the instant a change is possible — still enough for an
+				// election round trip, which also bounds its candidacy
+				// timer) and, under S2, the compensation gate.
+				cfg.TimeoutMin = 20 * time.Millisecond
+				cfg.TimeoutMax = 25 * time.Millisecond
+				if spec.Smart {
+					eng := cfg.Engine
+					if eng == nil {
+						eng = reputation.New()
+						cfg.Engine = eng
+					}
+					cfg.CampaignGate = func(res reputation.Result) bool { return res.Compensated }
+				}
+			}
+			node = core.New(cfg)
+			replica = node
+		} else {
+			f, ok := protocolFactories[o.Protocol]
+			if !ok {
+				panic(fmt.Sprintf("harness: protocol %q not registered", o.Protocol))
+			}
+			replica = f(FactoryEnv{ID: id, N: o.N, Keys: serverKeys[id], Registry: reg, Opts: &o, RNG: nodeRNG})
+		}
+		c.Nodes[i-1] = node
+		if spec.IsFaulty() {
+			w := faults.Wrap(replica, node, spec)
+			c.Wrappers[i-1] = w
+			replica = w
+		}
+		c.Replicas[i-1] = replica
+
+		rt := newSimRuntime(c, replica, id, spec)
+		c.runtimes = append(c.runtimes, rt)
+		net.Register(sim.ServerAddr(uint16(id)), rt.deliver)
+	}
+
+	for i := 1; i <= o.Clients; i++ {
+		cid := types.ClientID(i)
+		env := &clientEnv{cluster: c, addr: sim.ClientAddr(uint32(cid))}
+		var payload func(int) []byte
+		if o.ClientPayload != nil {
+			payload = func(seq int) []byte { return o.ClientPayload(cid, seq) }
+		}
+		cl := client.New(client.Config{
+			ID:          cid,
+			Keys:        clientKeys[cid],
+			Registry:    reg,
+			N:           o.N,
+			Payload:     payload,
+			PayloadSize: o.PayloadSize,
+			Timeout:     o.ClientTimeout,
+			ThinkTime:   o.ClientThinkTime,
+			MaxRequests: o.MaxRequestsPerClient,
+		}, env)
+		env.client = cl
+		c.Clients = append(c.Clients, cl)
+		net.Register(env.addr, env.deliver)
+	}
+	return c
+}
+
+// Start initializes replicas and launches the client workload.
+func (c *Cluster) Start() {
+	for _, rt := range c.runtimes {
+		rt.start()
+	}
+	for _, cl := range c.Clients {
+		cl.Start()
+	}
+}
+
+// Run advances the simulation by d of virtual time.
+func (c *Cluster) Run(d time.Duration) { c.Sched.RunFor(d) }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.Sched.Now() }
+
+// CollectClientStats folds client latencies into the metrics. Call after a
+// run, before reading latency aggregates.
+func (c *Cluster) CollectClientStats() {
+	c.Metrics.Latencies = c.Metrics.Latencies[:0]
+	c.Metrics.Complaints = 0
+	for _, cl := range c.Clients {
+		c.Metrics.Latencies = append(c.Metrics.Latencies, cl.Stats.Latencies...)
+		c.Metrics.Complaints += cl.Stats.Complaints
+	}
+}
+
+// Crash isolates a server from the network (benign failure).
+func (c *Cluster) Crash(id types.ServerID) {
+	c.Net.Isolate(sim.ServerAddr(uint16(id)), true)
+}
+
+// Recover reconnects a crashed server.
+func (c *Cluster) Recover(id types.ServerID) {
+	c.Net.Isolate(sim.ServerAddr(uint16(id)), false)
+}
+
+// --- Server runtime -----------------------------------------------------------
+
+type timerRef struct {
+	kind consensus.TimerKind
+	key  uint64
+}
+
+// simRuntime executes one replica's effects on the simulator: CPU charging,
+// timer management, puzzle solving via the time model, and network I/O.
+type simRuntime struct {
+	c       *Cluster
+	replica consensus.Replica
+	id      types.ServerID
+	addr    sim.Addr
+	cpu     *sim.CPU
+	timers  map[timerRef]*sim.Timer
+	puzzles map[uint64]*sim.Timer
+	rng     *rand.Rand
+	spec    faults.Spec
+}
+
+func newSimRuntime(c *Cluster, r consensus.Replica, id types.ServerID, spec faults.Spec) *simRuntime {
+	return &simRuntime{
+		c:       c,
+		replica: r,
+		id:      id,
+		addr:    sim.ServerAddr(uint16(id)),
+		cpu:     sim.NewCPU(c.Sched),
+		timers:  make(map[timerRef]*sim.Timer),
+		puzzles: make(map[uint64]*sim.Timer),
+		rng:     rand.New(rand.NewSource(c.Opts.Seed<<8 + int64(id))),
+		spec:    spec,
+	}
+}
+
+func (rt *simRuntime) now() time.Duration { return rt.c.Sched.Now().ToDuration() }
+
+func (rt *simRuntime) start() {
+	rt.execute(rt.replica.Init(rt.now()))
+}
+
+// deliver is the network handler: charge processing cost, then hand the
+// message to the replica.
+func (rt *simRuntime) deliver(from sim.Addr, payload any, size int) {
+	msg, ok := payload.(types.Message)
+	if !ok {
+		return
+	}
+	nSigs, nTx := consensus.MessageCostHint(msg)
+	cost := rt.c.Opts.Cost.MessageCost(size, nSigs, nTx)
+	origin := consensus.FromServer(types.ServerID(from.ID))
+	if from.Client {
+		origin = consensus.FromClient(types.ClientID(from.ID))
+	}
+	rt.cpu.Schedule(cost, func() {
+		rt.execute(rt.replica.OnMessage(rt.now(), origin, msg))
+	})
+}
+
+// execute runs a batch of effects.
+func (rt *simRuntime) execute(effs []consensus.Effect) {
+	opts := &rt.c.Opts
+	for _, e := range effs {
+		switch ef := e.(type) {
+		case consensus.Send:
+			rt.sendServer(ef.To, ef.Msg)
+		case consensus.Broadcast:
+			for i := 1; i <= opts.N; i++ {
+				if types.ServerID(i) != rt.id {
+					rt.sendServer(types.ServerID(i), ef.Msg)
+				}
+			}
+		case consensus.SendClient:
+			size := ef.Msg.WireSize()
+			rt.chargeSend(size)
+			rt.c.Net.Send(rt.addr, sim.ClientAddr(uint32(ef.To)), ef.Msg, size)
+		case consensus.SetTimer:
+			ref := timerRef{ef.Kind, ef.Key}
+			if t, ok := rt.timers[ref]; ok {
+				t.Cancel()
+			}
+			kind, key := ef.Kind, ef.Key
+			rt.timers[ref] = rt.c.Sched.After(ef.Delay, func() {
+				delete(rt.timers, ref)
+				rt.cpu.Schedule(opts.Cost.Base, func() {
+					rt.execute(rt.replica.OnTimer(rt.now(), kind, key))
+				})
+			})
+		case consensus.CancelTimer:
+			ref := timerRef{ef.Kind, ef.Key}
+			if t, ok := rt.timers[ref]; ok {
+				t.Cancel()
+				delete(rt.timers, ref)
+			}
+		case consensus.StartPuzzle:
+			rt.startPuzzle(ef)
+		case consensus.AbortPuzzle:
+			if t, ok := rt.puzzles[ef.Token]; ok {
+				t.Cancel()
+				delete(rt.puzzles, ef.Token)
+			}
+		case consensus.Commit:
+			rt.c.Metrics.OnCommit(ef.Block)
+		case consensus.Trace:
+			rt.c.Metrics.OnTrace(ef)
+		}
+	}
+}
+
+// sendServer transmits to a peer, charging serialization cost.
+func (rt *simRuntime) sendServer(to types.ServerID, msg types.Message) {
+	size := msg.WireSize()
+	rt.chargeSend(size)
+	rt.c.Net.Send(rt.addr, sim.ServerAddr(uint16(to)), msg, size)
+}
+
+// chargeSend busies the CPU for signing/serialization of an outbound
+// message without delaying the send itself (pipelined NIC).
+func (rt *simRuntime) chargeSend(size int) {
+	opts := &rt.c.Opts
+	rt.cpu.Schedule(opts.Cost.Sign/4+time.Duration(size)*opts.Cost.PerByte, func() {})
+}
+
+// startPuzzle models the reputation-determined computation: the solve time
+// is drawn from the geometric model at ModelBitsPerRP bits per penalty unit
+// (DESIGN.md §4). The nonce/hash pair is real (one hash) so C5 verification
+// stays honest at difficulty 0.
+func (rt *simRuntime) startPuzzle(ef consensus.StartPuzzle) {
+	opts := &rt.c.Opts
+	scale := 1.0
+	if rt.spec.HashRateScale > 0 {
+		scale = rt.spec.HashRateScale
+	}
+	bits := int(ef.RP) * opts.ModelBitsPerRP
+	d := opts.Cost.PuzzleTime(bits, scale, rt.rng.Float64())
+	nonce := make([]byte, 8)
+	rt.rng.Read(nonce)
+	hr := crypto.PuzzleHash(ef.Seed, nonce)
+	token := ef.Token
+	rt.puzzles[token] = rt.c.Sched.After(d, func() {
+		delete(rt.puzzles, token)
+		rt.execute(rt.replica.OnPuzzleSolved(rt.now(), token, nonce, hr))
+	})
+}
+
+// --- Client runtime -----------------------------------------------------------
+
+type clientEnv struct {
+	cluster *Cluster
+	addr    sim.Addr
+	client  *client.Client
+}
+
+func (e *clientEnv) Now() time.Duration { return e.cluster.Sched.Now().ToDuration() }
+
+func (e *clientEnv) Broadcast(msg types.Message) {
+	for i := 1; i <= e.cluster.Opts.N; i++ {
+		e.cluster.Net.Send(e.addr, sim.ServerAddr(uint16(i)), msg, msg.WireSize())
+	}
+}
+
+func (e *clientEnv) SetTimer(d time.Duration, fn func()) func() {
+	t := e.cluster.Sched.After(d, fn)
+	return t.Cancel
+}
+
+func (e *clientEnv) deliver(from sim.Addr, payload any, size int) {
+	if notif, ok := payload.(*types.Notif); ok && !from.Client {
+		e.client.OnNotif(types.ServerID(from.ID), notif)
+	}
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"prestigebft/internal/reputation"
+	"prestigebft/internal/types"
+)
+
+// Fig4cExample is one row of the paper's Figure 4c breakdown table.
+type Fig4cExample struct {
+	Label   string
+	CI, TI  int64
+	DeltaTx float64
+	DeltaVc float64
+	Delta   float64
+	NewRP   int64
+}
+
+// Fig4cExamples evaluates the five behavior scenarios of Figures 4b/4c
+// through the real reputation engine.
+func Fig4cExamples() []Fig4cExample {
+	e := reputation.New()
+	p5 := []int64{1, 2, 3, 4}
+	for i := 0; i < 10; i++ {
+		p5 = append(p5, 5)
+	}
+	cases := []struct {
+		label   string
+		newView types.View
+		snap    reputation.Snapshot
+	}{
+		{"1: leader V1-V5, no replication", 6, reputation.Snapshot{V: 5, RP: 5, CI: 1, TI: 1, Penalties: []int64{1, 2, 3, 4, 5}}},
+		{"2: replicated 20 txBlocks in V5", 6, reputation.Snapshot{V: 5, RP: 5, CI: 1, TI: 20, Penalties: []int64{1, 2, 3, 4, 5}}},
+		{"3: ci=20 ti=50, campaign V7", 7, reputation.Snapshot{V: 6, RP: 5, CI: 20, TI: 50, Penalties: []int64{1, 2, 3, 4, 5, 5}}},
+		{"4: ci=20 ti=100, campaign V7", 7, reputation.Snapshot{V: 6, RP: 5, CI: 20, TI: 100, Penalties: []int64{1, 2, 3, 4, 5, 5}}},
+		{"5: follower V7-V14, campaign V15", 15, reputation.Snapshot{V: 14, RP: 5, CI: 20, TI: 50, Penalties: p5}},
+	}
+	out := make([]Fig4cExample, 0, len(cases))
+	for _, c := range cases {
+		r := e.CalcRP(c.newView, c.snap)
+		out = append(out, Fig4cExample{
+			Label: c.label, CI: c.snap.CI, TI: c.snap.TI,
+			DeltaTx: r.DeltaTx, DeltaVc: r.DeltaVc, Delta: r.Delta, NewRP: r.RP,
+		})
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"prestigebft/internal/faults"
+	"prestigebft/internal/sim"
+	"prestigebft/internal/types"
+)
+
+// run builds, starts, and advances a cluster, returning it for inspection.
+func run(t *testing.T, opts Options, d time.Duration) *Cluster {
+	t.Helper()
+	c := NewCluster(opts)
+	c.Start()
+	c.Run(d)
+	c.CollectClientStats()
+	return c
+}
+
+// TestNormalOperationCommits: a 4-server cluster under client load commits
+// transactions and every correct replica converges to the same chain.
+func TestNormalOperationCommits(t *testing.T) {
+	c := run(t, Options{
+		N: 4, Clients: 8, BatchSize: 8, Seed: 42,
+		VerifySignatures: true,
+	}, 3*time.Second)
+
+	if c.Metrics.TotalTxs == 0 {
+		t.Fatal("no transactions committed under normal operation")
+	}
+	// All replicas should be at (nearly) the same height with identical
+	// block hashes on the common prefix.
+	minH := c.Nodes[0].Store().TxHeight()
+	for _, n := range c.Nodes[1:] {
+		if h := n.Store().TxHeight(); h < minH {
+			minH = h
+		}
+	}
+	if minH == 0 {
+		t.Fatal("some replica committed nothing")
+	}
+	ref := c.Nodes[0].Store()
+	for _, n := range c.Nodes[1:] {
+		for s := types.SeqNum(1); s <= minH; s++ {
+			if n.Store().TxBlock(s).Hash() != ref.TxBlock(s).Hash() {
+				t.Fatalf("replica %d diverges at seq %d", n.ID(), s)
+			}
+		}
+	}
+	// No view changes should have occurred under a correct leader
+	// (Theorem 4, leadership robustness).
+	if c.Metrics.Elections != 0 {
+		t.Errorf("elections = %d under correct leader, want 0", c.Metrics.Elections)
+	}
+	if len(c.Metrics.Latencies) == 0 {
+		t.Fatal("clients observed no commits")
+	}
+}
+
+// TestLeaderCrashRecovers: crashing the leader triggers a complaint-driven
+// view change and the cluster resumes committing (Theorem 2, liveness).
+func TestLeaderCrashRecovers(t *testing.T) {
+	c := NewCluster(Options{
+		N: 4, Clients: 4, BatchSize: 4, Seed: 7,
+		VerifySignatures: true,
+		ClientTimeout:    500 * time.Millisecond,
+	})
+	c.Start()
+	c.Run(time.Second)
+	before := c.Metrics.TotalTxs
+	if before == 0 {
+		t.Fatal("no commits before crash")
+	}
+	c.Crash(1) // server 1 is the initial leader
+	c.Run(10 * time.Second)
+	if c.Metrics.Elections == 0 {
+		t.Fatal("no election after leader crash")
+	}
+	after := c.Metrics.TotalTxs
+	if after <= before {
+		t.Fatalf("no progress after leader crash: %d -> %d", before, after)
+	}
+	// The new leader must be a live server, not the crashed one — the
+	// active protocol never elects an unavailable server (§1).
+	for _, n := range c.Nodes[1:] {
+		if l := n.CurrentLeader(); l == 1 {
+			t.Errorf("replica %d still believes crashed server leads", n.ID())
+		}
+	}
+}
+
+// TestSafetyNoConflictingCommits checks Theorem 3 under repeated leader
+// crashes: no two correct replicas commit different blocks at the same
+// sequence number.
+func TestSafetyNoConflictingCommits(t *testing.T) {
+	c := NewCluster(Options{
+		N: 4, Clients: 6, BatchSize: 4, Seed: 99,
+		VerifySignatures: true,
+		ClientTimeout:    400 * time.Millisecond,
+	})
+	c.Start()
+	c.Run(time.Second)
+	// Crash the current leader, let a new one emerge, recover, repeat.
+	crashed := types.NoServer
+	for round := 0; round < 3; round++ {
+		leader := c.Nodes[1].CurrentLeader()
+		if crashed != types.NoServer {
+			c.Recover(crashed)
+		}
+		c.Crash(leader)
+		crashed = leader
+		c.Run(8 * time.Second)
+	}
+	var maxH types.SeqNum
+	for _, n := range c.Nodes {
+		if h := n.Store().TxHeight(); h > maxH {
+			maxH = h
+		}
+	}
+	if maxH == 0 {
+		t.Fatal("nothing committed across crash rounds")
+	}
+	for s := types.SeqNum(1); s <= maxH; s++ {
+		var ref types.Digest
+		for _, n := range c.Nodes {
+			b := n.Store().TxBlock(s)
+			if b == nil {
+				continue
+			}
+			h := b.Hash()
+			if ref.IsZero() {
+				ref = h
+			} else if h != ref {
+				t.Fatalf("conflicting commit at seq %d", s)
+			}
+		}
+	}
+}
+
+// TestQuietParticipantsUnaffected: f quiet servers (F2) under a correct
+// leader do not stop progress and cause no view changes (Fig. 9's
+// PrestigeBFT result).
+func TestQuietParticipantsUnaffected(t *testing.T) {
+	c := run(t, Options{
+		N: 4, Clients: 8, BatchSize: 8, Seed: 21,
+		VerifySignatures: true,
+		Faults:           map[types.ServerID]faults.Spec{4: {Mode: faults.Quiet}},
+	}, 3*time.Second)
+	if c.Metrics.TotalTxs == 0 {
+		t.Fatal("quiet participant halted progress")
+	}
+	if c.Metrics.Elections != 0 {
+		t.Errorf("quiet participant induced %d elections", c.Metrics.Elections)
+	}
+}
+
+// TestEquivocatingParticipantsUnaffected: f equivocating servers (F3) under
+// a correct leader cannot stop progress.
+func TestEquivocatingParticipantsUnaffected(t *testing.T) {
+	c := run(t, Options{
+		N: 4, Clients: 8, BatchSize: 8, Seed: 22,
+		VerifySignatures: true,
+		Faults:           map[types.ServerID]faults.Spec{3: {Mode: faults.Equivocate}},
+	}, 3*time.Second)
+	if c.Metrics.TotalTxs == 0 {
+		t.Fatal("equivocating participant halted progress")
+	}
+	if c.Metrics.Elections != 0 {
+		t.Errorf("equivocation induced %d elections under correct leader", c.Metrics.Elections)
+	}
+}
+
+// TestPolicyRotationElectsNewLeaders: the timing policy rotates leadership
+// among correct servers; the active protocol picks up-to-date leaders and
+// replication continues.
+func TestPolicyRotationElectsNewLeaders(t *testing.T) {
+	c := run(t, Options{
+		N: 4, Clients: 6, BatchSize: 6, Seed: 5,
+		VerifySignatures: true,
+		ViewPolicy:       2 * time.Second,
+		TimeoutMin:       100 * time.Millisecond,
+		TimeoutMax:       200 * time.Millisecond,
+	}, 12*time.Second)
+	if c.Metrics.Elections < 3 {
+		t.Fatalf("elections = %d, want >= 3 under 2s rotation over 12s", c.Metrics.Elections)
+	}
+	if c.Metrics.TotalTxs == 0 {
+		t.Fatal("no commits under rotation")
+	}
+	// Views advanced on all replicas.
+	for _, n := range c.Nodes {
+		if n.View() < 2 {
+			t.Errorf("replica %d stuck in view %d", n.ID(), n.View())
+		}
+	}
+}
+
+// TestDeterministicReplay: identical options and seed produce identical
+// metrics — the foundation for reproducible experiments.
+func TestDeterministicReplay(t *testing.T) {
+	opts := Options{N: 4, Clients: 5, BatchSize: 5, Seed: 1234, VerifySignatures: true}
+	a := run(t, opts, 2*time.Second)
+	b := run(t, opts, 2*time.Second)
+	if a.Metrics.TotalTxs != b.Metrics.TotalTxs {
+		t.Fatalf("nondeterministic: %d vs %d txs", a.Metrics.TotalTxs, b.Metrics.TotalTxs)
+	}
+	if len(a.Metrics.Commits) != len(b.Metrics.Commits) {
+		t.Fatalf("nondeterministic commit counts")
+	}
+	for i := range a.Metrics.Commits {
+		if a.Metrics.Commits[i] != b.Metrics.Commits[i] {
+			t.Fatalf("commit %d differs: %+v vs %+v", i, a.Metrics.Commits[i], b.Metrics.Commits[i])
+		}
+	}
+}
+
+// TestMetricsAggregation sanity-checks the metric computations themselves.
+func TestMetricsAggregation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	m := NewMetrics(sched)
+	mkBlock := func(n types.SeqNum, txs int) *types.TxBlock {
+		b := &types.TxBlock{}
+		b.Header.N = n
+		b.Txs = make([]types.Transaction, txs)
+		return b
+	}
+	sched.RunUntil(sim.Duration(500 * time.Millisecond))
+	m.OnCommit(mkBlock(1, 100))
+	m.OnCommit(mkBlock(1, 100)) // duplicate ignored
+	sched.RunUntil(sim.Duration(1500 * time.Millisecond))
+	m.OnCommit(mkBlock(2, 50))
+	if m.TotalTxs != 150 {
+		t.Fatalf("TotalTxs = %d, want 150", m.TotalTxs)
+	}
+	tps := m.TPS(0, sim.Duration(2*time.Second))
+	if tps != 75 {
+		t.Fatalf("TPS = %v, want 75", tps)
+	}
+	tl := m.Timeline(sim.Duration(2*time.Second), time.Second)
+	if tl[0] != 100 || tl[1] != 50 {
+		t.Fatalf("timeline = %v", tl)
+	}
+	av := m.Availability(sim.Duration(4*time.Second), time.Second)
+	if av != 0.5 {
+		t.Fatalf("availability = %v, want 0.5", av)
+	}
+}

@@ -1,0 +1,194 @@
+// Package harness builds simulated PrestigeBFT (and baseline) clusters on
+// the discrete-event engine and collects the measurements the paper's
+// figures report: throughput, latency, view changes, split votes,
+// reputation-penalty series, and availability.
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/sim"
+	"prestigebft/internal/types"
+)
+
+// CommitEvent records one committed txBlock (deduplicated across servers).
+type CommitEvent struct {
+	At  sim.Time
+	Seq types.SeqNum
+	Txs int
+}
+
+// RPPoint is one sample of a server's reputation penalty.
+type RPPoint struct {
+	At   sim.Time
+	View types.View
+	RP   int64
+}
+
+// LeaderPoint records an installed view and its leader.
+type LeaderPoint struct {
+	At     sim.Time
+	View   types.View
+	Leader types.ServerID
+}
+
+// Metrics aggregates everything observable from one simulation run.
+type Metrics struct {
+	sched *sim.Scheduler
+
+	blockSeen map[types.SeqNum]bool
+	Commits   []CommitEvent
+	TotalTxs  int
+
+	ViewChangesStarted int
+	Candidacies        int
+	Elections          int
+	SplitVotes         int
+	Refreshes          int
+	SyncUps            int
+
+	RPSeries map[types.ServerID][]RPPoint
+	Leaders  []LeaderPoint
+
+	// Latencies are client-observed request latencies.
+	Latencies []time.Duration
+	// Complaints counts client complaints.
+	Complaints int
+}
+
+// NewMetrics creates a collector bound to the scheduler's clock.
+func NewMetrics(sched *sim.Scheduler) *Metrics {
+	return &Metrics{
+		sched:     sched,
+		blockSeen: make(map[types.SeqNum]bool),
+		RPSeries:  make(map[types.ServerID][]RPPoint),
+	}
+}
+
+// OnCommit records a block commit, deduplicating across servers so a block
+// counts once no matter how many replicas commit it.
+func (m *Metrics) OnCommit(blk *types.TxBlock) {
+	if m.blockSeen[blk.Header.N] {
+		return
+	}
+	m.blockSeen[blk.Header.N] = true
+	m.Commits = append(m.Commits, CommitEvent{At: m.sched.Now(), Seq: blk.Header.N, Txs: len(blk.Txs)})
+	m.TotalTxs += len(blk.Txs)
+}
+
+// OnTrace consumes protocol trace effects.
+func (m *Metrics) OnTrace(tr consensus.Trace) {
+	switch tr.Event {
+	case consensus.TraceViewChangeStart:
+		m.ViewChangesStarted++
+	case consensus.TraceCandidate:
+		m.Candidacies++
+	case consensus.TraceElected:
+		m.Elections++
+		m.Leaders = append(m.Leaders, LeaderPoint{At: m.sched.Now(), View: tr.View, Leader: tr.Server})
+	case consensus.TraceSplitVote:
+		m.SplitVotes++
+	case consensus.TraceRPChange:
+		m.RPSeries[tr.Server] = append(m.RPSeries[tr.Server], RPPoint{At: m.sched.Now(), View: tr.View, RP: tr.Value})
+	case consensus.TraceRefresh:
+		m.Refreshes++
+	case consensus.TraceSyncUp:
+		m.SyncUps++
+	}
+}
+
+// TPS returns committed transactions per second over [from, to].
+func (m *Metrics) TPS(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	txs := 0
+	for _, c := range m.Commits {
+		if c.At >= from && c.At < to {
+			txs += c.Txs
+		}
+	}
+	return float64(txs) / (to - from).ToDuration().Seconds()
+}
+
+// Timeline buckets committed transactions into windows of the given width,
+// returning TPS per window — the series behind Figure 11.
+func (m *Metrics) Timeline(until sim.Time, window time.Duration) []float64 {
+	nw := int(until.ToDuration()/window) + 1
+	out := make([]float64, nw)
+	for _, c := range m.Commits {
+		idx := int(c.At.ToDuration() / window)
+		if idx >= 0 && idx < nw {
+			out[idx] += float64(c.Txs)
+		}
+	}
+	scale := window.Seconds()
+	for i := range out {
+		out[i] /= scale
+	}
+	return out
+}
+
+// Availability returns the fraction of windows in (0, until] during which
+// at least one transaction committed — the metric behind Figure 14.
+func (m *Metrics) Availability(until sim.Time, window time.Duration) float64 {
+	nw := int(until.ToDuration() / window)
+	if nw == 0 {
+		return 0
+	}
+	live := make([]bool, nw)
+	for _, c := range m.Commits {
+		idx := int(c.At.ToDuration() / window)
+		if idx >= 0 && idx < nw && c.Txs > 0 {
+			live[idx] = true
+		}
+	}
+	n := 0
+	for _, l := range live {
+		if l {
+			n++
+		}
+	}
+	return float64(n) / float64(nw)
+}
+
+// LatencyPercentile returns the p-th percentile (0-100) client latency.
+func (m *Metrics) LatencyPercentile(p float64) time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	ls := append([]time.Duration(nil), m.Latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := int(p / 100 * float64(len(ls)-1))
+	return ls[idx]
+}
+
+// MeanLatency returns the average client latency.
+func (m *Metrics) MeanLatency() time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range m.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(m.Latencies))
+}
+
+// LeaderShare returns, per server, the fraction of installed views it led —
+// the leadership-fairness measure of Appendix A.4.
+func (m *Metrics) LeaderShare() map[types.ServerID]float64 {
+	out := make(map[types.ServerID]float64)
+	if len(m.Leaders) == 0 {
+		return out
+	}
+	for _, lp := range m.Leaders {
+		out[lp.Leader]++
+	}
+	for id := range out {
+		out[id] /= float64(len(m.Leaders))
+	}
+	return out
+}

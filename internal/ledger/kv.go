@@ -1,0 +1,102 @@
+package ledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"prestigebft/internal/types"
+)
+
+// KVStore is a deterministic key-value state machine used by the examples
+// and the integration tests. Transactions are encoded with EncodeKVOp.
+type KVStore struct {
+	data map[string][]byte
+	// Applied counts applied transactions.
+	Applied int
+}
+
+// NewKVStore returns an empty key-value store.
+func NewKVStore() *KVStore { return &KVStore{data: make(map[string][]byte)} }
+
+// KVOp is a key-value operation code.
+type KVOp uint8
+
+const (
+	// KVSet writes Value at Key.
+	KVSet KVOp = iota + 1
+	// KVDel removes Key.
+	KVDel
+	// KVNoop does nothing (used by load generators).
+	KVNoop
+)
+
+// EncodeKVOp serializes an operation into a transaction payload.
+func EncodeKVOp(op KVOp, key string, value []byte) []byte {
+	buf := make([]byte, 0, 1+2+len(key)+len(value))
+	buf = append(buf, byte(op))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// DecodeKVOp parses a transaction payload produced by EncodeKVOp.
+func DecodeKVOp(data []byte) (op KVOp, key string, value []byte, err error) {
+	if len(data) < 3 {
+		return 0, "", nil, fmt.Errorf("kv op too short: %d bytes", len(data))
+	}
+	op = KVOp(data[0])
+	klen := int(binary.BigEndian.Uint16(data[1:3]))
+	if len(data) < 3+klen {
+		return 0, "", nil, fmt.Errorf("kv op truncated key: want %d bytes", klen)
+	}
+	key = string(data[3 : 3+klen])
+	value = data[3+klen:]
+	return op, key, value, nil
+}
+
+// Apply implements StateMachine. Malformed payloads are ordered but marked
+// not useful (status false), exercising the per-transaction Status list of
+// txBlocks (Figure 3).
+func (s *KVStore) Apply(tx *types.Transaction) bool {
+	s.Applied++
+	op, key, value, err := DecodeKVOp(tx.Data)
+	if err != nil {
+		return false
+	}
+	switch op {
+	case KVSet:
+		s.data[key] = append([]byte(nil), value...)
+	case KVDel:
+		delete(s.data, key)
+	case KVNoop:
+	default:
+		return false
+	}
+	return true
+}
+
+// Get returns the value stored at key.
+func (s *KVStore) Get(key string) ([]byte, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of live keys.
+func (s *KVStore) Len() int { return len(s.data) }
+
+// Equal reports whether two stores hold identical contents — used by tests
+// to check that all correct replicas converge to the same state.
+func (s *KVStore) Equal(o *KVStore) bool {
+	if len(s.data) != len(o.data) {
+		return false
+	}
+	for k, v := range s.data {
+		ov, ok := o.data[k]
+		if !ok || !bytes.Equal(v, ov) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,279 @@
+// Package ledger stores the two consensus chains of PrestigeBFT — txBlocks
+// (replication results) and vcBlocks (view-change results) — and exposes the
+// read operations the reputation engine and the SyncUp procedure need
+// (Figure 2: the state machine the reputation engine "retrieves information"
+// from).
+//
+// Blocks are self-certifying through their quorum certificates, so a stale
+// server can validate a range of fetched blocks without trusting the sender
+// (§4.2.3 SyncUp).
+package ledger
+
+import (
+	"fmt"
+
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/reputation"
+	"prestigebft/internal/types"
+)
+
+// StateMachine consumes committed transactions in order. Implementations
+// must be deterministic. Apply returns an application-level status for the
+// transaction: whether it is "useful" in the sense of the paper's
+// user-defined txBlock criteria (§3, Appendix B Q3). The consensus result
+// recorded in TxBlock.Status is this value.
+type StateMachine interface {
+	Apply(tx *types.Transaction) bool
+}
+
+// AcceptAll is a StateMachine that accepts every transaction and discards
+// its payload. It is the default for benchmarks.
+type AcceptAll struct{ Applied int }
+
+// Apply implements StateMachine.
+func (s *AcceptAll) Apply(*types.Transaction) bool { s.Applied++; return true }
+
+// Store holds both chains for one server. It is not safe for concurrent use;
+// each consensus node runs a single event loop (see internal/core).
+type Store struct {
+	txBlocks []*types.TxBlock // index == sequence number; [0] is genesis
+	vcBlocks []*types.VcBlock // ordered by view; [0] is genesis (view 1)
+	vcByView map[types.View]int
+
+	sm StateMachine
+	n  int // cluster size, for QC thresholds
+}
+
+// NewStore creates a store seeded with the genesis blocks for an n-server
+// cluster led initially by initialLeader.
+func NewStore(n int, initialLeader types.ServerID, sm StateMachine) *Store {
+	if sm == nil {
+		sm = &AcceptAll{}
+	}
+	s := &Store{
+		vcByView: make(map[types.View]int),
+		sm:       sm,
+		n:        n,
+	}
+	s.txBlocks = append(s.txBlocks, types.GenesisTxBlock())
+	gvc := types.GenesisVcBlock(n, initialLeader, 1, 1)
+	s.vcBlocks = append(s.vcBlocks, gvc)
+	s.vcByView[gvc.V] = 0
+	return s
+}
+
+// StateMachine returns the application state machine.
+func (s *Store) StateMachine() StateMachine { return s.sm }
+
+// --- txBlock chain ---------------------------------------------------------
+
+// LatestTxBlock returns the highest committed txBlock.
+func (s *Store) LatestTxBlock() *types.TxBlock { return s.txBlocks[len(s.txBlocks)-1] }
+
+// TxHeight returns the sequence number of the latest txBlock (the paper's ti
+// under the default "all blocks are useful" criterion).
+func (s *Store) TxHeight() types.SeqNum { return s.LatestTxBlock().Header.N }
+
+// TxBlock returns the block at sequence number n, or nil.
+func (s *Store) TxBlock(n types.SeqNum) *types.TxBlock {
+	if int(n) >= len(s.txBlocks) {
+		return nil
+	}
+	return s.txBlocks[n]
+}
+
+// AppendTxBlock validates and appends a committed txBlock, applying its
+// transactions to the state machine. Validation checks the chain linkage and
+// the commit certificate threshold.
+func (s *Store) AppendTxBlock(reg *crypto.Registry, b *types.TxBlock) error {
+	prev := s.LatestTxBlock()
+	if b.Header.N != prev.Header.N+1 {
+		return fmt.Errorf("txBlock %d does not extend height %d", b.Header.N, prev.Header.N)
+	}
+	if b.Header.N > 1 && b.Header.PrevHash != prev.Hash() {
+		return fmt.Errorf("txBlock %d: previous hash mismatch", b.Header.N)
+	}
+	if err := s.ValidateTxBlockQCs(reg, b); err != nil {
+		return err
+	}
+	cp := *b
+	if len(cp.Status) != len(cp.Txs) {
+		cp.Status = make([]bool, len(cp.Txs))
+	}
+	for i := range cp.Txs {
+		cp.Status[i] = s.sm.Apply(&cp.Txs[i])
+	}
+	s.txBlocks = append(s.txBlocks, &cp)
+	return nil
+}
+
+// AppendTxBlockUnchecked appends a block validating only chain linkage; the
+// caller vouches for the certificates. Protocols whose certificate structure
+// differs from the two-QC standard (e.g. SBFT's fast path) validate
+// themselves and then append through this.
+func (s *Store) AppendTxBlockUnchecked(reg *crypto.Registry, b *types.TxBlock) error {
+	prev := s.LatestTxBlock()
+	if b.Header.N != prev.Header.N+1 {
+		return fmt.Errorf("txBlock %d does not extend height %d", b.Header.N, prev.Header.N)
+	}
+	if b.Header.N > 1 && b.Header.PrevHash != prev.Hash() {
+		return fmt.Errorf("txBlock %d: previous hash mismatch", b.Header.N)
+	}
+	cp := *b
+	if len(cp.Status) != len(cp.Txs) {
+		cp.Status = make([]bool, len(cp.Txs))
+	}
+	for i := range cp.Txs {
+		cp.Status[i] = s.sm.Apply(&cp.Txs[i])
+	}
+	s.txBlocks = append(s.txBlocks, &cp)
+	return nil
+}
+
+// ValidateTxBlockQCs checks the ordering and commit certificates of b
+// without appending it.
+func (s *Store) ValidateTxBlockQCs(reg *crypto.Registry, b *types.TxBlock) error {
+	q := types.QuorumSize(s.n)
+	if b.CommitQC.Kind != types.QCCommit || b.CommitQC.Seq != b.Header.N {
+		return fmt.Errorf("txBlock %d: malformed commit_QC", b.Header.N)
+	}
+	if err := reg.VerifyQC(&b.CommitQC, q); err != nil {
+		return fmt.Errorf("txBlock %d: %w", b.Header.N, err)
+	}
+	if b.OrderingQC.Kind != types.QCOrdering || b.OrderingQC.Seq != b.Header.N {
+		return fmt.Errorf("txBlock %d: malformed ordering_QC", b.Header.N)
+	}
+	if err := reg.VerifyQC(&b.OrderingQC, q); err != nil {
+		return fmt.Errorf("txBlock %d: %w", b.Header.N, err)
+	}
+	if b.CommitQC.Digest != b.OrderingQC.Digest {
+		return fmt.Errorf("txBlock %d: commit_QC does not cover ordering_QC digest", b.Header.N)
+	}
+	if d := b.ContentDigest(); b.OrderingQC.Digest != d {
+		return fmt.Errorf("txBlock %d: ordering_QC digest mismatch", b.Header.N)
+	}
+	return nil
+}
+
+// TxRange returns committed blocks with sequence numbers in [start, end],
+// clamped to the chain.
+func (s *Store) TxRange(start, end types.SeqNum) []types.TxBlock {
+	if start < 1 {
+		start = 1
+	}
+	if int(end) >= len(s.txBlocks) {
+		end = types.SeqNum(len(s.txBlocks) - 1)
+	}
+	var out []types.TxBlock
+	for n := start; n <= end; n++ {
+		out = append(out, *s.txBlocks[n])
+	}
+	return out
+}
+
+// --- vcBlock chain ----------------------------------------------------------
+
+// LatestVcBlock returns the vcBlock of the current view.
+func (s *Store) LatestVcBlock() *types.VcBlock { return s.vcBlocks[len(s.vcBlocks)-1] }
+
+// CurrentView returns the view of the latest vcBlock.
+func (s *Store) CurrentView() types.View { return s.LatestVcBlock().V }
+
+// CurrentLeader returns the leader of the current view.
+func (s *Store) CurrentLeader() types.ServerID { return s.LatestVcBlock().LeaderID }
+
+// VcBlockAt returns the vcBlock for an exact view, or nil.
+func (s *Store) VcBlockAt(v types.View) *types.VcBlock {
+	i, ok := s.vcByView[v]
+	if !ok {
+		return nil
+	}
+	return s.vcBlocks[i]
+}
+
+// AppendVcBlock validates and appends a view-change result. Views may skip
+// numbers (campaigns increment beyond V+1 after split votes), but must be
+// strictly increasing.
+func (s *Store) AppendVcBlock(reg *crypto.Registry, b *types.VcBlock) error {
+	prev := s.LatestVcBlock()
+	if b.V <= prev.V {
+		return fmt.Errorf("vcBlock view %d not beyond current %d", b.V, prev.V)
+	}
+	if b.PrevHash != prev.Hash() {
+		return fmt.Errorf("vcBlock %d: previous hash mismatch", b.V)
+	}
+	if err := s.ValidateVcBlockQCs(reg, b); err != nil {
+		return err
+	}
+	cp := *b
+	cp.RP, cp.CI = b.CloneReputation()
+	s.vcBlocks = append(s.vcBlocks, &cp)
+	s.vcByView[cp.V] = len(s.vcBlocks) - 1
+	return nil
+}
+
+// ValidateVcBlockQCs checks the conf and vote certificates of b.
+func (s *Store) ValidateVcBlockQCs(reg *crypto.Registry, b *types.VcBlock) error {
+	if b.VcQC.Kind != types.QCVote || b.VcQC.View != b.V || b.VcQC.Seq != types.SeqNum(b.LeaderID) {
+		return fmt.Errorf("vcBlock %d: malformed vc_QC", b.V)
+	}
+	if err := reg.VerifyQC(&b.VcQC, types.QuorumSize(s.n)); err != nil {
+		return fmt.Errorf("vcBlock %d: %w", b.V, err)
+	}
+	if b.ConfQC.Kind != types.QCConf {
+		return fmt.Errorf("vcBlock %d: malformed conf_QC", b.V)
+	}
+	if err := reg.VerifyQC(&b.ConfQC, types.ConfirmSize(s.n)); err != nil {
+		return fmt.Errorf("vcBlock %d: %w", b.V, err)
+	}
+	return nil
+}
+
+// VcRangeAfter returns all vcBlocks with views in (afterView, endView],
+// in chain order.
+func (s *Store) VcRangeAfter(afterView, endView types.View) []types.VcBlock {
+	var out []types.VcBlock
+	for _, b := range s.vcBlocks {
+		if b.V > afterView && b.V <= endView {
+			out = append(out, *b)
+		}
+	}
+	return out
+}
+
+// UpdateReputation overwrites one server's rp and ci in the current vcBlock.
+// This implements the refresh mechanism (§4.2.5): receivers of a valid Rdone
+// update the sender's entries in the current VcBlock. It does not create a
+// new block.
+func (s *Store) UpdateReputation(id types.ServerID, rp, ci int64) {
+	cur := s.LatestVcBlock()
+	cur.RP[id] = rp
+	cur.CI[id] = ci
+}
+
+// PenaltyHistory returns server id's rp entry in every vcBlock from genesis
+// through the current view, in chain order. This is the set P of
+// Algorithm 1 (lines 4-7).
+func (s *Store) PenaltyHistory(id types.ServerID) []int64 {
+	out := make([]int64, 0, len(s.vcBlocks))
+	for _, b := range s.vcBlocks {
+		out = append(out, b.RP[id])
+	}
+	return out
+}
+
+// --- Reputation snapshot -----------------------------------------------------
+
+// Snapshot gathers the reputation inputs for server id, with ti supplied by
+// the caller (the default is the tx chain height; applications with a
+// "useful block" criterion pass their own count).
+func (s *Store) Snapshot(id types.ServerID, ti int64) reputation.Snapshot {
+	cur := s.LatestVcBlock()
+	return reputation.Snapshot{
+		V:         cur.V,
+		RP:        cur.RP[id],
+		CI:        cur.CI[id],
+		TI:        ti,
+		Penalties: s.PenaltyHistory(id),
+	}
+}

@@ -1,0 +1,234 @@
+package ledger
+
+import (
+	"testing"
+
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/quorum"
+	"prestigebft/internal/types"
+)
+
+// buildBlock commits a batch through properly signed certificates.
+func buildBlock(t *testing.T, reg *crypto.Registry, servers map[types.ServerID]*crypto.KeyPair,
+	prev *types.TxBlock, v types.View, txs []types.Transaction) *types.TxBlock {
+	t.Helper()
+	blk := &types.TxBlock{
+		Header: types.TxBlockHeader{V: v, N: prev.Header.N + 1, PrevHash: prev.Hash(), BatchLen: uint32(len(txs))},
+		Txs:    txs,
+	}
+	d := blk.ContentDigest()
+	ord := quorum.NewCollector(types.QCOrdering, v, blk.Header.N, d, 3)
+	cmt := quorum.NewCollector(types.QCCommit, v, blk.Header.N, d, 3)
+	for id := types.ServerID(1); id <= 3; id++ {
+		ord.Add(reg, id, servers[id].Sign(ord.Statement()))
+		cmt.Add(reg, id, servers[id].Sign(cmt.Statement()))
+	}
+	blk.OrderingQC = ord.QC()
+	blk.CommitQC = cmt.QC()
+	return blk
+}
+
+func newTestStore(t *testing.T) (*Store, *crypto.Registry, map[types.ServerID]*crypto.KeyPair) {
+	t.Helper()
+	reg, servers, _ := crypto.GenerateDeployment(21, 4, 0)
+	return NewStore(4, 1, nil), reg, servers
+}
+
+func TestAppendTxBlockChain(t *testing.T) {
+	s, reg, servers := newTestStore(t)
+	txs := []types.Transaction{{Timestamp: 1, Client: 1, Data: []byte("a")}}
+	b1 := buildBlock(t, reg, servers, s.LatestTxBlock(), 1, txs)
+	if err := s.AppendTxBlock(reg, b1); err != nil {
+		t.Fatalf("append block 1: %v", err)
+	}
+	if s.TxHeight() != 1 {
+		t.Fatalf("height = %d", s.TxHeight())
+	}
+	// Appending out of order must fail.
+	b3 := buildBlock(t, reg, servers, b1, 1, txs)
+	b3.Header.N = 3
+	if err := s.AppendTxBlock(reg, b3); err == nil {
+		t.Fatal("gap append accepted")
+	}
+	// Wrong previous hash must fail.
+	b2 := buildBlock(t, reg, servers, s.LatestTxBlock(), 1, txs)
+	b2.Header.PrevHash = types.Digest{9}
+	if err := s.AppendTxBlock(reg, b2); err == nil {
+		t.Fatal("broken chain linkage accepted")
+	}
+}
+
+func TestAppendTxBlockRejectsBadQCs(t *testing.T) {
+	s, reg, servers := newTestStore(t)
+	txs := []types.Transaction{{Timestamp: 1, Client: 1, Data: []byte("a")}}
+	good := buildBlock(t, reg, servers, s.LatestTxBlock(), 1, txs)
+
+	noCommit := *good
+	noCommit.CommitQC = types.QC{}
+	if err := s.AppendTxBlock(reg, &noCommit); err == nil {
+		t.Fatal("missing commit QC accepted")
+	}
+	thin := *good
+	thin.CommitQC.Signers = thin.CommitQC.Signers[:2]
+	thin.CommitQC.Sigs = thin.CommitQC.Sigs[:2]
+	if err := s.AppendTxBlock(reg, &thin); err == nil {
+		t.Fatal("under-threshold commit QC accepted")
+	}
+	// Tampered content: the ordering QC no longer matches.
+	tampered := *good
+	tampered.Txs = []types.Transaction{{Timestamp: 2, Client: 2, Data: []byte("b")}}
+	if err := s.AppendTxBlock(reg, &tampered); err == nil {
+		t.Fatal("content/QC mismatch accepted")
+	}
+}
+
+func TestStateMachineApplication(t *testing.T) {
+	reg, servers, _ := crypto.GenerateDeployment(21, 4, 0)
+	kv := NewKVStore()
+	s := NewStore(4, 1, kv)
+	txs := []types.Transaction{
+		{Timestamp: 1, Client: 1, Data: EncodeKVOp(KVSet, "k", []byte("v"))},
+		{Timestamp: 2, Client: 1, Data: []byte{0xff}}, // malformed: status false
+	}
+	b := buildBlock(t, reg, servers, s.LatestTxBlock(), 1, txs)
+	if err := s.AppendTxBlock(reg, b); err != nil {
+		t.Fatal(err)
+	}
+	stored := s.LatestTxBlock()
+	if len(stored.Status) != 2 || !stored.Status[0] || stored.Status[1] {
+		t.Fatalf("status = %v, want [true false]", stored.Status)
+	}
+	if v, ok := kv.Get("k"); !ok || string(v) != "v" {
+		t.Fatal("state machine did not apply the committed op")
+	}
+}
+
+func TestTxRangeClamping(t *testing.T) {
+	s, reg, servers := newTestStore(t)
+	for i := 0; i < 5; i++ {
+		b := buildBlock(t, reg, servers, s.LatestTxBlock(), 1,
+			[]types.Transaction{{Timestamp: int64(i), Client: 1}})
+		if err := s.AppendTxBlock(reg, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := s.TxRange(2, 4)
+	if len(r) != 3 || r[0].Header.N != 2 || r[2].Header.N != 4 {
+		t.Fatalf("range [2,4] = %d blocks", len(r))
+	}
+	if got := s.TxRange(0, 100); len(got) != 5 {
+		t.Fatalf("clamped range = %d blocks, want 5", len(got))
+	}
+}
+
+func TestVcChainAndPenaltyHistory(t *testing.T) {
+	reg, servers, _ := crypto.GenerateDeployment(21, 4, 0)
+	s := NewStore(4, 1, nil)
+
+	appendVc := func(v types.View, leader types.ServerID, rp int64) {
+		prev := s.LatestVcBlock()
+		nrp, nci := prev.CloneReputation()
+		nrp[leader] = rp
+		blk := &types.VcBlock{V: v, LeaderID: leader, PrevHash: prev.Hash(), RP: nrp, CI: nci}
+		conf := quorum.NewCollector(types.QCConf, prev.V, types.SeqNum(leader), types.Digest{}, 2)
+		vote := quorum.NewCollector(types.QCVote, v, types.SeqNum(leader), types.Digest{}, 3)
+		for id := types.ServerID(1); id <= 3; id++ {
+			conf.Add(reg, id, servers[id].Sign(conf.Statement()))
+			vote.Add(reg, id, servers[id].Sign(vote.Statement()))
+		}
+		blk.ConfQC = conf.QC()
+		blk.VcQC = vote.QC()
+		if err := s.AppendVcBlock(reg, blk); err != nil {
+			t.Fatalf("append vcBlock %d: %v", v, err)
+		}
+	}
+	appendVc(2, 2, 2)
+	appendVc(4, 2, 3) // views may skip (split-vote retries)
+	if s.CurrentView() != 4 || s.CurrentLeader() != 2 {
+		t.Fatalf("view/leader = %d/%d", s.CurrentView(), s.CurrentLeader())
+	}
+	hist := s.PenaltyHistory(2)
+	if len(hist) != 3 || hist[0] != 1 || hist[1] != 2 || hist[2] != 3 {
+		t.Fatalf("penalty history = %v", hist)
+	}
+	// Snapshot feeds the reputation engine.
+	snap := s.Snapshot(2, 10)
+	if snap.V != 4 || snap.RP != 3 || snap.TI != 10 || len(snap.Penalties) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Stale or replayed views are rejected.
+	prev := s.LatestVcBlock()
+	if err := s.AppendVcBlock(reg, &types.VcBlock{V: 3, PrevHash: prev.Hash(), RP: prev.RP, CI: prev.CI}); err == nil {
+		t.Fatal("lower-view vcBlock accepted")
+	}
+	// Range queries for SyncUp.
+	r := s.VcRangeAfter(1, 4)
+	if len(r) != 2 || r[0].V != 2 || r[1].V != 4 {
+		t.Fatalf("vc range = %+v", r)
+	}
+}
+
+func TestUpdateReputationRefresh(t *testing.T) {
+	s, _, _ := newTestStore(t)
+	s.UpdateReputation(3, 1, 1)
+	if s.LatestVcBlock().RP[3] != 1 {
+		t.Fatal("refresh did not apply")
+	}
+	s.UpdateReputation(3, 7, 9)
+	if s.LatestVcBlock().RP[3] != 7 || s.LatestVcBlock().CI[3] != 9 {
+		t.Fatal("update did not apply")
+	}
+}
+
+func TestKVStoreOps(t *testing.T) {
+	kv := NewKVStore()
+	apply := func(op KVOp, k string, v []byte) bool {
+		tx := types.Transaction{Data: EncodeKVOp(op, k, v)}
+		return kv.Apply(&tx)
+	}
+	if !apply(KVSet, "a", []byte("1")) {
+		t.Fatal("set rejected")
+	}
+	if v, ok := kv.Get("a"); !ok || string(v) != "1" {
+		t.Fatal("get after set failed")
+	}
+	if !apply(KVDel, "a", nil) {
+		t.Fatal("del rejected")
+	}
+	if _, ok := kv.Get("a"); ok {
+		t.Fatal("key survives delete")
+	}
+	if !apply(KVNoop, "", nil) {
+		t.Fatal("noop rejected")
+	}
+	bad := types.Transaction{Data: []byte{1}}
+	if kv.Apply(&bad) {
+		t.Fatal("malformed op accepted")
+	}
+	// Equality across replicas.
+	other := NewKVStore()
+	tx := types.Transaction{Data: EncodeKVOp(KVSet, "x", []byte("y"))}
+	kv.Apply(&tx)
+	other.Apply(&tx)
+	if !kv.Equal(other) {
+		t.Fatal("identical histories produced unequal stores")
+	}
+	tx2 := types.Transaction{Data: EncodeKVOp(KVSet, "z", []byte("w"))}
+	other.Apply(&tx2)
+	if kv.Equal(other) {
+		t.Fatal("different stores compare equal")
+	}
+}
+
+func TestKVOpEncodingRoundtrip(t *testing.T) {
+	op, key, val, err := DecodeKVOp(EncodeKVOp(KVSet, "key", []byte("value")))
+	if err != nil || op != KVSet || key != "key" || string(val) != "value" {
+		t.Fatalf("roundtrip: %v %v %q %q", err, op, key, val)
+	}
+	if _, _, _, err := DecodeKVOp([]byte{1}); err == nil {
+		t.Fatal("truncated op decoded")
+	}
+	if _, _, _, err := DecodeKVOp(EncodeKVOp(KVSet, "key", nil)[:4]); err == nil {
+		t.Fatal("truncated key decoded")
+	}
+}

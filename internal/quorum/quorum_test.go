@@ -1,0 +1,94 @@
+package quorum
+
+import (
+	"testing"
+
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/types"
+)
+
+func deployment(t *testing.T, n int) (*crypto.Registry, map[types.ServerID]*crypto.KeyPair) {
+	t.Helper()
+	reg, servers, _ := crypto.GenerateDeployment(11, n, 0)
+	return reg, servers
+}
+
+func TestCollectorThreshold(t *testing.T) {
+	reg, servers := deployment(t, 4)
+	c := NewCollector(types.QCVote, 5, 2, types.Digest{}, 3)
+	stmt := c.Statement()
+	if c.Add(reg, 1, servers[1].Sign(stmt)) {
+		t.Fatal("threshold reported at 1/3")
+	}
+	if c.Add(reg, 2, servers[2].Sign(stmt)) {
+		t.Fatal("threshold reported at 2/3")
+	}
+	if !c.Add(reg, 3, servers[3].Sign(stmt)) {
+		t.Fatal("threshold not reported at 3/3")
+	}
+	// Reaching the threshold fires exactly once.
+	if c.Add(reg, 4, servers[4].Sign(stmt)) {
+		t.Fatal("threshold fired twice")
+	}
+	qc := c.QC()
+	if qc.Len() != 3 {
+		t.Fatalf("QC has %d signers, want 3", qc.Len())
+	}
+	if err := reg.VerifyQC(&qc, 3); err != nil {
+		t.Fatalf("assembled QC fails verification: %v", err)
+	}
+}
+
+func TestCollectorRejectsDuplicatesAndBadSigs(t *testing.T) {
+	reg, servers := deployment(t, 4)
+	c := NewCollector(types.QCConf, 1, 1, types.Digest{}, 2)
+	stmt := c.Statement()
+	c.Add(reg, 1, servers[1].Sign(stmt))
+	if c.Count() != 1 {
+		t.Fatal("first signature not counted")
+	}
+	c.Add(reg, 1, servers[1].Sign(stmt)) // duplicate
+	if c.Count() != 1 {
+		t.Fatal("duplicate signer counted twice")
+	}
+	c.Add(reg, 2, servers[2].Sign([]byte("wrong statement")))
+	if c.Count() != 1 {
+		t.Fatal("invalid signature counted")
+	}
+	c.Add(reg, 9, []byte("nonsense")) // unknown server
+	if c.Count() != 1 {
+		t.Fatal("unknown server counted")
+	}
+}
+
+func TestCollectorQCDeterministicOrder(t *testing.T) {
+	reg, servers := deployment(t, 7)
+	build := func(order []types.ServerID) types.QC {
+		c := NewCollector(types.QCCommit, 2, 3, types.Digest{1}, 5)
+		stmt := c.Statement()
+		for _, id := range order {
+			c.Add(reg, id, servers[id].Sign(stmt))
+		}
+		return c.QC()
+	}
+	a := build([]types.ServerID{5, 1, 4, 2, 3})
+	b := build([]types.ServerID{3, 4, 1, 2, 5})
+	for i := range a.Signers {
+		if a.Signers[i] != b.Signers[i] {
+			t.Fatalf("signer order depends on arrival order: %v vs %v", a.Signers, b.Signers)
+		}
+	}
+}
+
+func TestCollectorMatches(t *testing.T) {
+	c := NewCollector(types.QCOrdering, 4, 9, types.Digest{2}, 3)
+	if !c.Matches(types.QCOrdering, 4, 9, types.Digest{2}) {
+		t.Fatal("identity mismatch")
+	}
+	if c.Matches(types.QCCommit, 4, 9, types.Digest{2}) ||
+		c.Matches(types.QCOrdering, 5, 9, types.Digest{2}) ||
+		c.Matches(types.QCOrdering, 4, 8, types.Digest{2}) ||
+		c.Matches(types.QCOrdering, 4, 9, types.Digest{3}) {
+		t.Fatal("Matches ignores part of the identity")
+	}
+}

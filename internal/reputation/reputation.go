@@ -1,0 +1,180 @@
+// Package reputation implements PrestigeBFT's reputation engine (§3 of the
+// paper): Algorithm 1 (CalcRP) with penalization (Eq. 1), the two
+// compensation criteria — incremental log responsiveness δtx (Eq. 2) and
+// leadership zealousness δvc (Eq. 3) — and the final deduction (Eq. 4).
+//
+// The engine is a pure "consultant": it reads chain state (historic
+// penalties from vcBlocks, replication progress from txBlocks) and returns
+// the penalty a server would carry into a new view. It never writes state;
+// only view-change consensus persists the result, and only for the elected
+// leader (§4.2.4).
+package reputation
+
+import (
+	"math"
+
+	"prestigebft/internal/types"
+)
+
+// Defaults for the engine's tunables, matching the paper's settings.
+const (
+	// DefaultCDelta is Cδ in Eq. 4 ("For simplicity, we set Cδ = 1").
+	DefaultCDelta = 1.0
+	// DefaultInitialRP is the initial reputation penalty rp(1) = 1.
+	DefaultInitialRP = 1
+	// DefaultInitialCI is the initial compensation index ci = 1.
+	DefaultInitialCI = 1
+)
+
+// Snapshot is the read-only chain state CalcRP consumes for one server:
+// everything Algorithm 1 retrieves from the state machine.
+type Snapshot struct {
+	// V is the server's current view (vcBlock.v).
+	V types.View
+	// RP is the server's penalty recorded in the current vcBlock.
+	RP int64
+	// CI is the server's compensation index in the current vcBlock: the
+	// number of txBlocks already used for past compensation.
+	CI int64
+	// TI is the number of txBlocks the server has committed — the sequence
+	// number of its latest txBlock.
+	TI int64
+	// Penalties is the server's full penalty history P: its rp entry in
+	// every vcBlock from genesis through the current view, in chain order
+	// (Algo. 1 lines 4-7 walk the vcBlock chain collecting these).
+	Penalties []int64
+}
+
+// Result carries the outcome of one CalcRP evaluation, including the
+// intermediate quantities so experiments can print the paper's Fig. 4c
+// breakdown table and tests can pin each step.
+type Result struct {
+	// RP is the new reputation penalty rp(V').
+	RP int64
+	// CI is the new compensation index (persisted only upon election).
+	CI int64
+	// Compensated reports whether ⌊δ⌋ ≥ 1.
+	Compensated bool
+
+	// Intermediates (Fig. 4c columns).
+	Temp    int64   // rp_temp after penalization (Eq. 1)
+	DeltaTx float64 // δtx (Eq. 2)
+	DeltaVc float64 // δvc (Eq. 3)
+	Delta   float64 // δ (Eq. 4, before the floor)
+}
+
+// Engine evaluates reputation penalties. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	// CDelta adjusts the joint effect of δtx·δvc (Eq. 4). Applications may
+	// tune it; the paper and all experiments use 1.
+	CDelta float64
+	// UsefulTx filters which transactions count toward ti. Nil counts all.
+	// This implements the paper's "users can define the criteria for useful
+	// txBlocks" extension point (§3, Appendix B Q3); see the bank example.
+	UsefulTx func(*types.Transaction) bool
+}
+
+// New returns an engine with the paper's default Cδ = 1.
+func New() *Engine { return &Engine{CDelta: DefaultCDelta} }
+
+// Sigmoid is the logistic function used by Eq. 3.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// CalcRP implements Algorithm 1: it computes the reputation penalty and
+// compensation index the server identified by snap would carry into view
+// newView. The returned values take effect only if the server is elected.
+func (e *Engine) CalcRP(newView types.View, snap Snapshot) Result {
+	// Step 1: penalization (Eq. 1). The penalty increases by the view jump;
+	// correct servers always increment their view by exactly one.
+	temp := snap.RP + int64(newView) - int64(snap.V)
+
+	// Step 2a: incremental log responsiveness (Eq. 2). ti is the sequence
+	// number of the server's latest txBlock; ci counts blocks already spent
+	// on past compensation. Initially ti = ci = 1, so 0 ≤ δtx ≤ 1.
+	dtx := 0.0
+	if snap.TI > 0 {
+		dtx = float64(snap.TI-snap.CI) / float64(snap.TI)
+	}
+	if dtx < 0 {
+		dtx = 0
+	}
+
+	// Step 2b: leadership zealousness (Eq. 3). The z-score of the current
+	// penalty against the full penalty history P, squashed by the sigmoid.
+	dvc := e.deltaVc(snap.RP, snap.Penalties)
+
+	// Eq. 4: the deduction is a fraction of the increased penalty.
+	delta := float64(temp) * e.CDelta * dtx * dvc
+	floor := int64(math.Floor(delta))
+	rp := temp - floor
+
+	// The compensation index advances to ti: those blocks have now been
+	// "used" in a compensation calculation (Fig. 4a example 2: "If Sa is
+	// elected, ci=10"). Persisted only upon election.
+	ci := snap.CI
+	if snap.TI > ci {
+		ci = snap.TI
+	}
+
+	return Result{
+		RP:          rp,
+		CI:          ci,
+		Compensated: floor >= 1,
+		Temp:        temp,
+		DeltaTx:     dtx,
+		DeltaVc:     dvc,
+		Delta:       delta,
+	}
+}
+
+// deltaVc computes Eq. 3 over the penalty history. The paper's worked
+// examples (Appendix C) pin the statistic to the *population* standard
+// deviation: for P={1,2,3,4,5}, µ=3 and σ=1.41. A degenerate history with
+// σ=0 defines the z-score as 0 (δvc = 0.5); DESIGN.md §6 records this edge
+// case.
+func (e *Engine) deltaVc(rp int64, penalties []int64) float64 {
+	if len(penalties) == 0 {
+		return 0.5
+	}
+	mean, std := PopulationStats(penalties)
+	if std == 0 {
+		return 1 - Sigmoid(0)
+	}
+	z := (float64(rp) - mean) / std
+	return 1 - Sigmoid(z)
+}
+
+// PopulationStats returns the mean and population standard deviation of xs.
+func PopulationStats(xs []int64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(xs)))
+	return mean, std
+}
+
+// CountUseful applies the engine's UsefulTx criterion to a batch, returning
+// how many transactions count toward ti. With a nil criterion all count.
+func (e *Engine) CountUseful(txs []types.Transaction) int64 {
+	if e.UsefulTx == nil {
+		return int64(len(txs))
+	}
+	var n int64
+	for i := range txs {
+		if e.UsefulTx(&txs[i]) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,376 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prestigebft/internal/types"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestGoldenFig4cRow1 pins example ① of Fig. 4b/4c: the server has been the
+// leader from V1 to V5 without replication; campaigning for V6 raises rp to 6.
+func TestGoldenFig4cRow1(t *testing.T) {
+	e := New()
+	res := e.CalcRP(6, Snapshot{
+		V:         5,
+		RP:        5,
+		CI:        1,
+		TI:        1,
+		Penalties: []int64{1, 2, 3, 4, 5},
+	})
+	if res.Temp != 6 {
+		t.Errorf("temp = %d, want 6", res.Temp)
+	}
+	almost(t, "δtx", res.DeltaTx, 0, 1e-9)
+	almost(t, "δvc", res.DeltaVc, 0.19, 0.01)
+	almost(t, "δ", res.Delta, 0, 1e-9)
+	if res.RP != 6 {
+		t.Errorf("rp(6) = %d, want 6", res.RP)
+	}
+	if res.Compensated {
+		t.Error("row 1 must not be compensated")
+	}
+}
+
+// TestGoldenFig4cRow2 pins example ②: after replicating 20 txBlocks in V5
+// the campaign for V6 is compensated by 1 and rp stays 5.
+//
+// Note: the paper's table prints δtx=1 for ti=20, ci=1, but Eq. 2 yields
+// (20-1)/20 = 0.95 (the paper's own Fig. 4a example with ti=10, ci=1 prints
+// 0.9 = (10-1)/10, confirming Eq. 2). The compensation outcome — ⌊δ⌋ = 1,
+// rp(6) = 5 — is identical either way; this test pins the Eq. 2 value and
+// the paper's outcome.
+func TestGoldenFig4cRow2(t *testing.T) {
+	e := New()
+	res := e.CalcRP(6, Snapshot{
+		V:         5,
+		RP:        5,
+		CI:        1,
+		TI:        20,
+		Penalties: []int64{1, 2, 3, 4, 5},
+	})
+	if res.Temp != 6 {
+		t.Errorf("temp = %d, want 6", res.Temp)
+	}
+	almost(t, "δtx", res.DeltaTx, 0.95, 1e-9)
+	almost(t, "δvc", res.DeltaVc, 0.1956, 0.001)
+	if !res.Compensated {
+		t.Error("row 2 must be compensated")
+	}
+	if res.RP != 5 {
+		t.Errorf("rp(6) = %d, want 5", res.RP)
+	}
+	if res.CI != 20 {
+		t.Errorf("ci = %d, want 20", res.CI)
+	}
+}
+
+// TestGoldenFig4cRow3 pins example ③: ci=20, ti=50 gives δtx=0.6 and no
+// compensation; rp rises to 6.
+func TestGoldenFig4cRow3(t *testing.T) {
+	e := New()
+	res := e.CalcRP(7, Snapshot{
+		V:         6,
+		RP:        5,
+		CI:        20,
+		TI:        50,
+		Penalties: []int64{1, 2, 3, 4, 5, 5},
+	})
+	if res.Temp != 6 {
+		t.Errorf("temp = %d, want 6", res.Temp)
+	}
+	almost(t, "δtx", res.DeltaTx, 0.6, 1e-9)
+	almost(t, "δvc", res.DeltaVc, 0.25, 0.01)
+	almost(t, "δ", res.Delta, 0.89, 0.01)
+	if res.Compensated {
+		t.Error("row 3 must not be compensated")
+	}
+	if res.RP != 6 {
+		t.Errorf("rp(7) = %d, want 6", res.RP)
+	}
+}
+
+// TestGoldenFig4cRow4 pins example ④: replicating to ti=100 restores
+// compensation; rp stays 5 and ci advances to 100.
+func TestGoldenFig4cRow4(t *testing.T) {
+	e := New()
+	res := e.CalcRP(7, Snapshot{
+		V:         6,
+		RP:        5,
+		CI:        20,
+		TI:        100,
+		Penalties: []int64{1, 2, 3, 4, 5, 5},
+	})
+	almost(t, "δtx", res.DeltaTx, 0.8, 1e-9)
+	almost(t, "δvc", res.DeltaVc, 0.25, 0.01)
+	almost(t, "δ", res.Delta, 1.2, 0.02)
+	if !res.Compensated {
+		t.Error("row 4 must be compensated")
+	}
+	if res.RP != 5 {
+		t.Errorf("rp(7) = %d, want 5", res.RP)
+	}
+	if res.CI != 100 {
+		t.Errorf("ci = %d, want 100", res.CI)
+	}
+}
+
+// TestGoldenFig4cRow5 pins example ⑤: the server stays a follower from V7 to
+// V14 (penalty unchanged at 5 across ten vcBlocks), then campaigns for V15
+// and is compensated by 1.
+func TestGoldenFig4cRow5(t *testing.T) {
+	e := New()
+	p := []int64{1, 2, 3, 4}
+	for i := 0; i < 10; i++ {
+		p = append(p, 5)
+	}
+	res := e.CalcRP(15, Snapshot{
+		V:         14,
+		RP:        5,
+		CI:        20,
+		TI:        50,
+		Penalties: p,
+	})
+	if res.Temp != 6 {
+		t.Errorf("temp = %d, want 6", res.Temp)
+	}
+	almost(t, "δtx", res.DeltaTx, 0.6, 1e-9)
+	almost(t, "δvc", res.DeltaVc, 0.36, 0.01)
+	// The paper multiplies the rounded δvc=0.36 (6·0.6·0.36 = 1.296); the
+	// unrounded value is 1.3096. ⌊δ⌋ = 1 either way.
+	almost(t, "δ", res.Delta, 1.30, 0.02)
+	if !res.Compensated {
+		t.Error("row 5 must be compensated")
+	}
+	if res.RP != 5 {
+		t.Errorf("rp(15) = %d, want 5", res.RP)
+	}
+}
+
+// TestGoldenAppendixCExample6 pins the final Appendix C variation: ti=400
+// over the follower period yields δtx=0.95, δ=2.05, and rp drops to 4.
+func TestGoldenAppendixCExample6(t *testing.T) {
+	e := New()
+	p := []int64{1, 2, 3, 4}
+	for i := 0; i < 10; i++ {
+		p = append(p, 5)
+	}
+	res := e.CalcRP(15, Snapshot{
+		V:         14,
+		RP:        5,
+		CI:        20,
+		TI:        400,
+		Penalties: p,
+	})
+	almost(t, "δtx", res.DeltaTx, 0.95, 1e-9)
+	almost(t, "δvc", res.DeltaVc, 0.36, 0.01)
+	// Paper prints 2.05 from rounded intermediates; unrounded is 2.0735.
+	// ⌊δ⌋ = 2 either way.
+	almost(t, "δ", res.Delta, 2.07, 0.03)
+	if res.RP != 4 {
+		t.Errorf("rp(15) = %d, want 4", res.RP)
+	}
+	if res.CI != 400 {
+		t.Errorf("ci = %d, want 400", res.CI)
+	}
+}
+
+// TestGoldenAppendixCInitialCampaign pins the very first campaign in
+// Appendix C: from the genesis state (V=1, rp=1, ci=ti=1) a campaign for V2
+// yields rp(2)=2 with no compensation.
+func TestGoldenAppendixCInitialCampaign(t *testing.T) {
+	e := New()
+	res := e.CalcRP(2, Snapshot{V: 1, RP: 1, CI: 1, TI: 1, Penalties: []int64{1}})
+	if res.Temp != 2 || res.RP != 2 {
+		t.Errorf("temp/rp = %d/%d, want 2/2", res.Temp, res.RP)
+	}
+	almost(t, "δtx", res.DeltaTx, 0, 1e-9)
+	if res.Compensated {
+		t.Error("initial campaign must not be compensated")
+	}
+}
+
+// TestGoldenFig4aExample2 pins Fig. 4a example ②: ci=1, ti=10 gives
+// δtx = 0.9 and, upon election, ci becomes 10.
+func TestGoldenFig4aExample2(t *testing.T) {
+	e := New()
+	res := e.CalcRP(2, Snapshot{V: 1, RP: 1, CI: 1, TI: 10, Penalties: []int64{1}})
+	almost(t, "δtx", res.DeltaTx, 0.9, 1e-9)
+	if res.CI != 10 {
+		t.Errorf("ci = %d, want 10", res.CI)
+	}
+}
+
+// TestGoldenFig4aExample3 pins Fig. 4a example ③: ci=10, ti=50 gives δtx=0.8.
+func TestGoldenFig4aExample3(t *testing.T) {
+	e := New()
+	res := e.CalcRP(3, Snapshot{V: 2, RP: 1, CI: 10, TI: 50, Penalties: []int64{1, 1}})
+	almost(t, "δtx", res.DeltaTx, 0.8, 1e-9)
+}
+
+// TestPopulationStats pins the σP values the paper's examples rely on.
+func TestPopulationStats(t *testing.T) {
+	cases := []struct {
+		name      string
+		xs        []int64
+		mean, std float64
+	}{
+		{"P={1..5}", []int64{1, 2, 3, 4, 5}, 3, 1.414},
+		{"P={1..5,5}", []int64{1, 2, 3, 4, 5, 5}, 3.333, 1.49},
+		{"P5", append([]int64{1, 2, 3, 4}, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5), 4.2857, 1.278},
+	}
+	for _, c := range cases {
+		mean, std := PopulationStats(c.xs)
+		almost(t, c.name+" mean", mean, c.mean, 0.01)
+		almost(t, c.name+" std", std, c.std, 0.01)
+	}
+}
+
+// TestSigmoid checks basic properties of the logistic function.
+func TestSigmoid(t *testing.T) {
+	almost(t, "Sigmoid(0)", Sigmoid(0), 0.5, 1e-12)
+	if !(Sigmoid(10) > 0.999) {
+		t.Error("Sigmoid(10) should approach 1")
+	}
+	if !(Sigmoid(-10) < 0.001) {
+		t.Error("Sigmoid(-10) should approach 0")
+	}
+}
+
+// TestDeltaVcEdgeCases covers empty and degenerate penalty histories.
+func TestDeltaVcEdgeCases(t *testing.T) {
+	e := New()
+	// σ = 0: z-score defined as 0, δvc = 0.5 (DESIGN.md §6).
+	res := e.CalcRP(2, Snapshot{V: 1, RP: 7, CI: 1, TI: 1, Penalties: []int64{7, 7, 7}})
+	almost(t, "δvc σ=0", res.DeltaVc, 0.5, 1e-12)
+	// Empty history behaves like the neutral case.
+	res = e.CalcRP(2, Snapshot{V: 1, RP: 1, CI: 1, TI: 1, Penalties: nil})
+	almost(t, "δvc empty", res.DeltaVc, 0.5, 1e-12)
+}
+
+// TestViewJumpPenalization verifies Eq. 1: jumping many views costs the full
+// jump, preventing Byzantine servers from overflowing the view counter
+// cheaply.
+func TestViewJumpPenalization(t *testing.T) {
+	e := New()
+	res := e.CalcRP(1000, Snapshot{V: 1, RP: 1, CI: 1, TI: 1, Penalties: []int64{1}})
+	if res.Temp != 1000 {
+		t.Errorf("temp = %d, want 1000", res.Temp)
+	}
+	if res.RP != 1000 {
+		t.Errorf("rp = %d, want 1000 (no replication, no compensation)", res.RP)
+	}
+}
+
+// TestCDeltaScaling verifies the Cδ knob scales the deduction.
+func TestCDeltaScaling(t *testing.T) {
+	strong := &Engine{CDelta: 3}
+	weak := &Engine{CDelta: 0}
+	snap := Snapshot{V: 5, RP: 5, CI: 1, TI: 20, Penalties: []int64{1, 2, 3, 4, 5}}
+	rs := strong.CalcRP(6, snap)
+	rw := weak.CalcRP(6, snap)
+	if !(rs.RP < rw.RP) {
+		t.Errorf("Cδ=3 rp %d should be lower than Cδ=0 rp %d", rs.RP, rw.RP)
+	}
+	if rw.RP != rw.Temp {
+		t.Errorf("Cδ=0 must disable compensation: rp %d != temp %d", rw.RP, rw.Temp)
+	}
+}
+
+// TestPropertyRPLowerBound: because 0 ≤ δtx ≤ 1 and 0 < δvc < 1 with Cδ=1,
+// the deduction is strictly less than rp_temp, so rp' ≥ 1 whenever the
+// inputs are reachable protocol states (rp ≥ 1, V' > V, ti ≥ ci ≥ 1).
+func TestPropertyRPLowerBound(t *testing.T) {
+	e := New()
+	f := func(rpRaw, ciRaw, tiRaw uint16, jump uint8, histRaw []uint8) bool {
+		rp := int64(rpRaw%1000) + 1
+		ci := int64(ciRaw%1000) + 1
+		ti := ci + int64(tiRaw%5000)
+		v := types.View(10)
+		vPrime := v + types.View(jump%64) + 1
+		hist := make([]int64, 0, len(histRaw)+1)
+		for _, h := range histRaw {
+			hist = append(hist, int64(h%100)+1)
+		}
+		hist = append(hist, rp)
+		res := e.CalcRP(vPrime, Snapshot{V: v, RP: rp, CI: ci, TI: ti, Penalties: hist})
+		if res.RP < 1 {
+			t.Logf("rp'=%d < 1 for rp=%d ci=%d ti=%d jump=%d", res.RP, rp, ci, ti, vPrime-v)
+			return false
+		}
+		if res.RP > res.Temp {
+			t.Logf("rp'=%d exceeds temp=%d", res.RP, res.Temp)
+			return false
+		}
+		if res.CI < ci {
+			t.Logf("ci went backwards: %d -> %d", ci, res.CI)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeltaBounds: δ ∈ [0, rp_temp) for all reachable states, so the
+// floor deduction never zeroes the penalty (matches §3: "the deduction δ is
+// a portion of the increased penalty").
+func TestPropertyDeltaBounds(t *testing.T) {
+	e := New()
+	f := func(rpRaw, tiRaw uint16, histRaw []uint8) bool {
+		rp := int64(rpRaw%500) + 1
+		ti := int64(tiRaw%5000) + 1
+		hist := make([]int64, 0, len(histRaw)+1)
+		for _, h := range histRaw {
+			hist = append(hist, int64(h%50)+1)
+		}
+		hist = append(hist, rp)
+		res := e.CalcRP(12, Snapshot{V: 11, RP: rp, CI: 1, TI: ti, Penalties: hist})
+		return res.Delta >= 0 && res.Delta < float64(res.Temp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMoreReplicationNeverHurts: with everything else fixed, a higher
+// ti never yields a higher penalty (monotone incentive to replicate, §3).
+func TestPropertyMoreReplicationNeverHurts(t *testing.T) {
+	e := New()
+	f := func(tiRaw uint16, extra uint8) bool {
+		ti1 := int64(tiRaw%2000) + 1
+		ti2 := ti1 + int64(extra)
+		snap := Snapshot{V: 9, RP: 4, CI: 1, Penalties: []int64{1, 2, 3, 4, 4, 4}}
+		s1, s2 := snap, snap
+		s1.TI, s2.TI = ti1, ti2
+		r1 := e.CalcRP(10, s1)
+		r2 := e.CalcRP(10, s2)
+		return r2.RP <= r1.RP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountUseful exercises the application-defined useful-transaction
+// criterion.
+func TestCountUseful(t *testing.T) {
+	e := New()
+	txs := []types.Transaction{{Data: []byte("a")}, {Data: []byte("bb")}, {Data: []byte("ccc")}}
+	if got := e.CountUseful(txs); got != 3 {
+		t.Errorf("nil criterion: got %d, want 3", got)
+	}
+	e.UsefulTx = func(tx *types.Transaction) bool { return len(tx.Data) >= 2 }
+	if got := e.CountUseful(txs); got != 2 {
+		t.Errorf("len>=2 criterion: got %d, want 2", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Package runtime drives a consensus.Replica with wall-clock time, real
+// proof-of-work, and a TCP transport — the live counterpart of the
+// discrete-event simulator. One goroutine owns the replica (an event loop
+// over inbound messages, timer expirations, and puzzle completions), so the
+// replica itself stays free of synchronization, exactly as in simulation.
+package runtime
+
+import (
+	"encoding/binary"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/transport"
+	"prestigebft/internal/types"
+)
+
+// Config wires a replica into the live runtime.
+type Config struct {
+	Replica consensus.Replica
+	// Peers maps every server ID to its TCP address (including self).
+	Peers map[types.ServerID]string
+	// ClientAddr resolves a client ID to its TCP address; clients announce
+	// themselves through their Prop broadcasts, so this may start empty
+	// and learn lazily via RegisterClient.
+	Transport *transport.Transport
+	// PuzzleBitsPerRP is the real proof-of-work difficulty per penalty
+	// unit. Must match the replica's verification configuration.
+	PuzzleBitsPerRP int
+	// OnCommit observes committed blocks.
+	OnCommit func(*types.TxBlock)
+	// OnTrace observes protocol traces.
+	OnTrace func(consensus.Trace)
+	// Logf logs runtime events; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+type timerKey struct {
+	kind consensus.TimerKind
+	key  uint64
+}
+
+type inboundEvent struct {
+	env *transport.Envelope
+}
+
+type timerEvent struct {
+	kind consensus.TimerKind
+	key  uint64
+	gen  uint64
+}
+
+type puzzleEvent struct {
+	token uint64
+	nonce []byte
+	hr    types.Digest
+}
+
+// Runtime is a live replica host.
+type Runtime struct {
+	cfg   Config
+	start time.Time
+
+	events chan any
+
+	mu          sync.Mutex
+	clientAddrs map[types.ClientID]string
+	timers      map[timerKey]*timerState
+	puzzle      *puzzleState
+	stopped     chan struct{}
+	rng         *rand.Rand
+}
+
+type timerState struct {
+	timer *time.Timer
+	gen   uint64
+}
+
+type puzzleState struct {
+	token uint64
+	abort chan struct{}
+}
+
+// New creates a runtime. Call Run to start the event loop.
+func New(cfg Config) *Runtime {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Runtime{
+		cfg:         cfg,
+		start:       time.Now(),
+		events:      make(chan any, 4096),
+		clientAddrs: make(map[types.ClientID]string),
+		timers:      make(map[timerKey]*timerState),
+		stopped:     make(chan struct{}),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(cfg.Replica.ID()))),
+	}
+}
+
+// RegisterClient records where Notif messages for a client should go.
+func (rt *Runtime) RegisterClient(id types.ClientID, addr string) {
+	rt.mu.Lock()
+	rt.clientAddrs[id] = addr
+	rt.mu.Unlock()
+}
+
+// Deliver enqueues an inbound envelope (the transport handler).
+func (rt *Runtime) Deliver(env *transport.Envelope) {
+	select {
+	case rt.events <- inboundEvent{env}:
+	case <-rt.stopped:
+	}
+}
+
+// Stop terminates the event loop.
+func (rt *Runtime) Stop() { close(rt.stopped) }
+
+func (rt *Runtime) now() time.Duration { return time.Since(rt.start) }
+
+// Run executes the replica event loop until Stop.
+func (rt *Runtime) Run() {
+	rt.execute(rt.cfg.Replica.Init(rt.now()))
+	for {
+		select {
+		case <-rt.stopped:
+			return
+		case ev := <-rt.events:
+			switch e := ev.(type) {
+			case inboundEvent:
+				origin := consensus.FromServer(e.env.FromServer)
+				if e.env.FromClient != 0 {
+					origin = consensus.FromClient(e.env.FromClient)
+				}
+				rt.execute(rt.cfg.Replica.OnMessage(rt.now(), origin, e.env.Msg))
+			case timerEvent:
+				rt.mu.Lock()
+				st, ok := rt.timers[timerKey{e.kind, e.key}]
+				live := ok && st.gen == e.gen
+				if live {
+					delete(rt.timers, timerKey{e.kind, e.key})
+				}
+				rt.mu.Unlock()
+				if live {
+					rt.execute(rt.cfg.Replica.OnTimer(rt.now(), e.kind, e.key))
+				}
+			case puzzleEvent:
+				rt.execute(rt.cfg.Replica.OnPuzzleSolved(rt.now(), e.token, e.nonce, e.hr))
+			}
+		}
+	}
+}
+
+func (rt *Runtime) execute(effs []consensus.Effect) {
+	for _, e := range effs {
+		switch ef := e.(type) {
+		case consensus.Send:
+			rt.sendServer(ef.To, ef.Msg)
+		case consensus.Broadcast:
+			for id := range rt.cfg.Peers {
+				if id != rt.cfg.Replica.ID() {
+					rt.sendServer(id, ef.Msg)
+				}
+			}
+		case consensus.SendClient:
+			rt.mu.Lock()
+			addr, ok := rt.clientAddrs[ef.To]
+			rt.mu.Unlock()
+			if ok {
+				if err := rt.cfg.Transport.Send(addr, ef.Msg); err != nil {
+					rt.cfg.Logf("send client %d: %v", ef.To, err)
+				}
+			}
+		case consensus.SetTimer:
+			rt.setTimer(ef)
+		case consensus.CancelTimer:
+			rt.mu.Lock()
+			if st, ok := rt.timers[timerKey{ef.Kind, ef.Key}]; ok {
+				st.timer.Stop()
+				delete(rt.timers, timerKey{ef.Kind, ef.Key})
+			}
+			rt.mu.Unlock()
+		case consensus.StartPuzzle:
+			rt.startPuzzle(ef)
+		case consensus.AbortPuzzle:
+			rt.mu.Lock()
+			if rt.puzzle != nil && rt.puzzle.token == ef.Token {
+				close(rt.puzzle.abort)
+				rt.puzzle = nil
+			}
+			rt.mu.Unlock()
+		case consensus.Commit:
+			if rt.cfg.OnCommit != nil {
+				rt.cfg.OnCommit(ef.Block)
+			}
+		case consensus.Trace:
+			if rt.cfg.OnTrace != nil {
+				rt.cfg.OnTrace(ef)
+			}
+		}
+	}
+}
+
+func (rt *Runtime) sendServer(to types.ServerID, msg types.Message) {
+	addr, ok := rt.cfg.Peers[to]
+	if !ok {
+		return
+	}
+	if err := rt.cfg.Transport.Send(addr, msg); err != nil {
+		// Loss is within the fault model; log at low volume.
+		rt.cfg.Logf("send server %d: %v", to, err)
+	}
+}
+
+func (rt *Runtime) setTimer(ef consensus.SetTimer) {
+	key := timerKey{ef.Kind, ef.Key}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if st, ok := rt.timers[key]; ok {
+		st.timer.Stop()
+	}
+	gen := uint64(time.Now().UnixNano())
+	st := &timerState{gen: gen}
+	st.timer = time.AfterFunc(ef.Delay, func() {
+		select {
+		case rt.events <- timerEvent{ef.Kind, ef.Key, gen}:
+		case <-rt.stopped:
+		}
+	})
+	rt.timers[key] = st
+}
+
+// startPuzzle launches the real reputation-determined computation
+// (Algo. 2 lines 36-39) on a worker goroutine, abortable when the redeemer
+// discovers a higher view.
+func (rt *Runtime) startPuzzle(ef consensus.StartPuzzle) {
+	rt.mu.Lock()
+	if rt.puzzle != nil {
+		close(rt.puzzle.abort)
+	}
+	ps := &puzzleState{token: ef.Token, abort: make(chan struct{})}
+	rt.puzzle = ps
+	rt.mu.Unlock()
+
+	bits := int(ef.RP) * rt.cfg.PuzzleBitsPerRP
+	if rt.cfg.PuzzleBitsPerRP < 0 {
+		bits = 0
+	}
+	seedCopy := append([]byte(nil), ef.Seed...)
+	startNonce := rt.rng.Uint64()
+	go func() {
+		nonce := make([]byte, 8)
+		binary.BigEndian.PutUint64(nonce, startNonce)
+		for {
+			select {
+			case <-ps.abort:
+				return
+			case <-rt.stopped:
+				return
+			default:
+			}
+			// Work in slices so aborts are timely.
+			for i := 0; i < 4096; i++ {
+				hr := crypto.PuzzleHash(seedCopy, nonce)
+				if crypto.CheckPrefix(hr, bits) {
+					select {
+					case rt.events <- puzzleEvent{ef.Token, append([]byte(nil), nonce...), hr}:
+					case <-rt.stopped:
+					}
+					return
+				}
+				for j := 7; j >= 0; j-- {
+					nonce[j]++
+					if nonce[j] != 0 {
+						break
+					}
+				}
+			}
+		}
+	}()
+}

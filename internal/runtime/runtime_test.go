@@ -1,0 +1,196 @@
+package runtime_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/core"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/runtime"
+	"prestigebft/internal/transport"
+	"prestigebft/internal/types"
+)
+
+// TestLiveClusterCommits boots a real 4-server cluster over loopback TCP
+// with real signatures and real proof-of-work, submits transactions from a
+// real client transport, and waits for f+1 notifications.
+func TestLiveClusterCommits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP test")
+	}
+	const n = 4
+	reg, serverKeys, clientKeys := crypto.GenerateDeployment(77, n, 2)
+
+	peers := make(map[types.ServerID]string, n)
+	transports := make([]*transport.Transport, 0, n)
+	runtimes := make([]*runtime.Runtime, 0, n)
+
+	// Bind listeners first (with late-bound handlers) so the peer map is
+	// complete before any runtime starts.
+	type lateHandler struct {
+		mu sync.Mutex
+		fn transport.Handler
+	}
+	handlers := make([]*lateHandler, 0, n)
+	ids := make([]types.ServerID, 0, n)
+	for i := 1; i <= n; i++ {
+		id := types.ServerID(i)
+		tr := transport.NewServerTransport(id)
+		lh := &lateHandler{}
+		if err := tr.Listen("127.0.0.1:0", func(env *transport.Envelope) {
+			lh.mu.Lock()
+			fn := lh.fn
+			lh.mu.Unlock()
+			if fn != nil {
+				fn(env)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		transports = append(transports, tr)
+		handlers = append(handlers, lh)
+		ids = append(ids, id)
+		peers[id] = tr.Addr()
+	}
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
+
+	// Client listener.
+	clientTr := transport.NewClientTransport(1)
+	var mu sync.Mutex
+	notifs := make(map[types.Digest]map[types.ServerID]bool)
+	committed := make(chan types.Digest, 16)
+	if err := clientTr.Listen("127.0.0.1:0", func(env *transport.Envelope) {
+		notif, ok := env.Msg.(*types.Notif)
+		if !ok {
+			return
+		}
+		mu.Lock()
+		set := notifs[notif.TxD]
+		if set == nil {
+			set = make(map[types.ServerID]bool)
+			notifs[notif.TxD] = set
+		}
+		set[env.FromServer] = true
+		if len(set) == types.ConfirmSize(n) {
+			select {
+			case committed <- notif.TxD:
+			default:
+			}
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer clientTr.Close()
+
+	for i, id := range ids {
+		node := core.New(core.Config{
+			ID: id, N: n, Keys: serverKeys[id], Registry: reg,
+			BatchSize: 2, PuzzleBitsPerRP: 2,
+		})
+		rt := runtime.New(runtime.Config{
+			Replica:         node,
+			Peers:           peers,
+			Transport:       transports[i],
+			PuzzleBitsPerRP: 2,
+			Logf:            func(string, ...any) {},
+		})
+		rt.RegisterClient(1, clientTr.Addr())
+		handlers[i].mu.Lock()
+		handlers[i].fn = rt.Deliver
+		handlers[i].mu.Unlock()
+		runtimes = append(runtimes, rt)
+		go rt.Run()
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Stop()
+		}
+	}()
+
+	// Submit four transactions and wait for quorum notifications.
+	keys := clientKeys[1]
+	want := make(map[types.Digest]bool)
+	for seq := 1; seq <= 4; seq++ {
+		tx := types.Transaction{Timestamp: int64(seq), Client: 1, Data: []byte(fmt.Sprintf("tx-%d", seq))}
+		prop := &types.Prop{Tx: tx, D: tx.Digest()}
+		prop.Sig = keys.Sign(prop.SigningBytes())
+		want[prop.D] = true
+		for _, addr := range peers {
+			if err := clientTr.Send(addr, prop); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for len(want) > 0 {
+		select {
+		case d := <-committed:
+			delete(want, d)
+		case <-deadline:
+			t.Fatalf("timed out with %d transactions unconfirmed", len(want))
+		}
+	}
+}
+
+// TestRuntimeTimerSemantics: SetTimer replaces, CancelTimer disarms.
+func TestRuntimeTimerSemantics(t *testing.T) {
+	fired := make(chan uint64, 16)
+	rep := &timerProbe{fired: fired}
+	rt := runtime.New(runtime.Config{
+		Replica:   rep,
+		Peers:     map[types.ServerID]string{},
+		Transport: transport.NewServerTransport(1),
+		Logf:      func(string, ...any) {},
+	})
+	go rt.Run()
+	defer rt.Stop()
+
+	select {
+	case k := <-fired:
+		if k != 2 {
+			t.Fatalf("timer %d fired, want only timer 2 (1 canceled, 3 replaced-by-2)", k)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no timer fired")
+	}
+	select {
+	case k := <-fired:
+		t.Fatalf("extra timer %d fired", k)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// timerProbe arms three timers in Init: key 1 is canceled, key 2 stays,
+// key 3 is re-armed far in the future (effectively never fires).
+type timerProbe struct {
+	fired chan uint64
+}
+
+func (p *timerProbe) ID() types.ServerID { return 1 }
+func (p *timerProbe) Init(now time.Duration) []consensus.Effect {
+	return []consensus.Effect{
+		consensus.SetTimer{Kind: 1, Key: 1, Delay: 50 * time.Millisecond},
+		consensus.SetTimer{Kind: 1, Key: 2, Delay: 60 * time.Millisecond},
+		consensus.SetTimer{Kind: 1, Key: 3, Delay: 50 * time.Millisecond},
+		consensus.CancelTimer{Kind: 1, Key: 1},
+		consensus.SetTimer{Kind: 1, Key: 3, Delay: time.Hour}, // replace
+	}
+}
+func (p *timerProbe) OnMessage(time.Duration, consensus.Origin, types.Message) []consensus.Effect {
+	return nil
+}
+func (p *timerProbe) OnTimer(now time.Duration, kind consensus.TimerKind, key uint64) []consensus.Effect {
+	p.fired <- key
+	return nil
+}
+func (p *timerProbe) OnPuzzleSolved(time.Duration, uint64, []byte, types.Digest) []consensus.Effect {
+	return nil
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// CostModel charges virtual CPU time for protocol work. The constants are
+// calibrated to the paper's testbed (4 vCPU 2.4 GHz Skylake): commodity
+// ed25519-class operations and SHA-256 hashing rates. Each simulated server
+// has one serial CPU; work queues when the CPU is busy, which is what
+// produces the throughput saturation (the "elbow") in Figure 6.
+type CostModel struct {
+	// Sign is the cost of producing one signature.
+	Sign time.Duration
+	// Verify is the cost of verifying one signature or one aggregated QC.
+	Verify time.Duration
+	// PerTx is the per-transaction cost of digesting, admission checking,
+	// and state-machine application when handling a batch.
+	PerTx time.Duration
+	// PerByte is the per-byte cost of serialization and hashing.
+	PerByte time.Duration
+	// Base is the fixed dispatch overhead per message.
+	Base time.Duration
+	// HashRate is the SHA-256 throughput in hashes/second for the
+	// proof-of-work model.
+	HashRate float64
+}
+
+// DefaultCostModel mirrors the paper's 4-vCPU 2.4 GHz Skylake instances:
+// per-core ed25519-class costs divided across the request-processing
+// parallelism a 4-vCPU server provides (the model's CPU is serial).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Sign:     25 * time.Microsecond,
+		Verify:   60 * time.Microsecond,
+		PerTx:    1500 * time.Nanosecond,
+		PerByte:  1 * time.Nanosecond,
+		Base:     2 * time.Microsecond,
+		HashRate: 10e6, // ~10 MH/s SHA-256 on one core
+	}
+}
+
+// MessageCost computes the virtual processing time for handling one message
+// of the given size with nSigs signature verifications and nTx transactions.
+func (c CostModel) MessageCost(size, nSigs, nTx int) time.Duration {
+	return c.Base +
+		time.Duration(nSigs)*c.Verify +
+		time.Duration(nTx)*c.PerTx +
+		time.Duration(size)*c.PerByte
+}
+
+// PuzzleTime draws a virtual solve time for a proof-of-work puzzle with the
+// given zero-bit difficulty. Iterations to the first success are geometric
+// with p = 2^-bits; the exponential distribution is its continuous analog
+// and indistinguishable at these scales. hashRateScale scales the solver's
+// effective rate (colluding attackers performing joint computation get
+// scale = f, §6.2).
+func (c CostModel) PuzzleTime(bits int, hashRateScale float64, u float64) time.Duration {
+	if bits <= 0 {
+		bits = 0
+	}
+	rate := c.HashRate * hashRateScale
+	if rate <= 0 {
+		rate = c.HashRate
+	}
+	mean := math.Exp2(float64(bits)) / rate // seconds
+	if u <= 0 {
+		u = 0.5
+	}
+	sec := -math.Log(u) * mean
+	// A single hash is the floor.
+	if min := 1.0 / rate; sec < min {
+		sec = min
+	}
+	if sec > 1e9 { // cap at ~31 years to keep Time arithmetic sane
+		sec = 1e9
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ExpectedPuzzleTime returns the mean solve time at the given difficulty,
+// used by Figure 12's deterministic cost table.
+func (c CostModel) ExpectedPuzzleTime(bits int, hashRateScale float64) time.Duration {
+	rate := c.HashRate * hashRateScale
+	if rate <= 0 {
+		rate = c.HashRate
+	}
+	sec := math.Exp2(float64(bits)) / rate
+	if sec > 1e9 {
+		sec = 1e9
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// CPU models one serial virtual processor. Arriving work is executed in
+// FIFO order; Schedule returns the completion time.
+type CPU struct {
+	sched *Scheduler
+	free  Time
+	// Busy accumulates total busy time for utilization reporting.
+	Busy Time
+}
+
+// NewCPU creates a CPU bound to the scheduler.
+func NewCPU(sched *Scheduler) *CPU { return &CPU{sched: sched} }
+
+// Schedule enqueues work costing d and runs fn at its completion time.
+func (c *CPU) Schedule(d time.Duration, fn func()) {
+	now := c.sched.Now()
+	if c.free < now {
+		c.free = now
+	}
+	start := c.free
+	c.free = start + Time(d)
+	c.Busy += Time(d)
+	c.sched.At(c.free, fn)
+}
+
+// Utilization returns the busy fraction over the elapsed virtual time.
+func (c *CPU) Utilization() float64 {
+	now := c.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.Busy) / float64(now)
+}

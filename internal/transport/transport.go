@@ -1,0 +1,185 @@
+// Package transport carries protocol messages over TCP with encoding/gob,
+// for live multi-process deployments (cmd/prestige-server and
+// cmd/prestige-client). The discrete-event simulator bypasses it entirely.
+//
+// Connections are lazy and cached: the first send to a peer dials it;
+// failures drop the message (BFT consensus tolerates loss — retransmission
+// pressure comes from clients and timeouts). Identity inside the payload is
+// authenticated by signatures, not by the connection.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"prestigebft/internal/baseline/hotstuff"
+	"prestigebft/internal/types"
+)
+
+// Envelope frames every message with its sender.
+type Envelope struct {
+	FromServer types.ServerID
+	FromClient types.ClientID
+	Msg        types.Message
+}
+
+func init() {
+	// Concrete message types crossing the wire.
+	gob.Register(&types.Prop{})
+	gob.Register(&types.Notif{})
+	gob.Register(&types.Compt{})
+	gob.Register(&types.ConfVC{})
+	gob.Register(&types.ReVC{})
+	gob.Register(&types.CampVC{})
+	gob.Register(&types.VoteCP{})
+	gob.Register(&types.VcBlockMsg{})
+	gob.Register(&types.VcYes{})
+	gob.Register(&types.Ref{})
+	gob.Register(&types.Rdone{})
+	gob.Register(&types.Ord{})
+	gob.Register(&types.OrdReply{})
+	gob.Register(&types.Cmt{})
+	gob.Register(&types.CmtReply{})
+	gob.Register(&types.TxBlockMsg{})
+	gob.Register(&types.SyncReq{})
+	gob.Register(&types.SyncResp{})
+	gob.Register(&hotstuff.Prepare{})
+	gob.Register(&hotstuff.Vote{})
+	gob.Register(&hotstuff.PhaseAnnounce{})
+	gob.Register(&hotstuff.Decide{})
+	gob.Register(&hotstuff.NewView{})
+}
+
+// Handler consumes inbound envelopes.
+type Handler func(env *Envelope)
+
+// Transport is one process's TCP endpoint.
+type Transport struct {
+	self     Envelope // sender identity stamped on outbound envelopes
+	listener net.Listener
+	handler  Handler
+
+	mu    sync.Mutex
+	conns map[string]*conn
+	done  chan struct{}
+}
+
+type conn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+// NewServerTransport creates a transport that stamps outbound messages with
+// a server identity.
+func NewServerTransport(id types.ServerID) *Transport {
+	return &Transport{self: Envelope{FromServer: id}, conns: make(map[string]*conn), done: make(chan struct{})}
+}
+
+// NewClientTransport creates a transport that stamps outbound messages with
+// a client identity.
+func NewClientTransport(id types.ClientID) *Transport {
+	return &Transport{self: Envelope{FromClient: id}, conns: make(map[string]*conn), done: make(chan struct{})}
+}
+
+// Listen accepts inbound connections on addr and feeds envelopes to h.
+func (t *Transport) Listen(addr string, h Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	t.listener = ln
+	t.handler = h
+	go t.acceptLoop()
+	return nil
+}
+
+func (t *Transport) acceptLoop() {
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		go t.readLoop(c)
+	}
+}
+
+func (t *Transport) readLoop(c net.Conn) {
+	dec := gob.NewDecoder(c)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			c.Close()
+			return
+		}
+		if t.handler != nil {
+			t.handler(&env)
+		}
+	}
+}
+
+// Send transmits msg to the peer at addr, dialing lazily. Errors are
+// returned for observability but senders may ignore them: loss is within
+// the fault model.
+func (t *Transport) Send(addr string, msg types.Message) error {
+	t.mu.Lock()
+	cn, ok := t.conns[addr]
+	t.mu.Unlock()
+	if !ok {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", addr, err)
+		}
+		cn = &conn{enc: gob.NewEncoder(raw), c: raw}
+		t.mu.Lock()
+		if existing, raced := t.conns[addr]; raced {
+			cn.c.Close()
+			cn = existing
+		} else {
+			t.conns[addr] = cn
+		}
+		t.mu.Unlock()
+	}
+	env := t.self
+	env.Msg = msg
+	cn.mu.Lock()
+	err := cn.enc.Encode(&env)
+	cn.mu.Unlock()
+	if err != nil {
+		t.mu.Lock()
+		delete(t.conns, addr)
+		t.mu.Unlock()
+		cn.c.Close()
+		return fmt.Errorf("send %s: %w", addr, err)
+	}
+	return nil
+}
+
+// Close shuts the listener and all connections.
+func (t *Transport) Close() {
+	close(t.done)
+	if t.listener != nil {
+		t.listener.Close()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cn := range t.conns {
+		cn.c.Close()
+	}
+	t.conns = nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *Transport) Addr() string {
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"prestigebft/internal/types"
+)
+
+// collect returns a handler that forwards envelopes to a channel.
+func collect() (Handler, chan *Envelope) {
+	ch := make(chan *Envelope, 16)
+	return func(env *Envelope) { ch <- env }, ch
+}
+
+func TestGobRoundtrip(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewServerTransport(1)
+	defer cli.Close()
+
+	msgs := []types.Message{
+		&types.Prop{Tx: types.Transaction{Timestamp: 5, Client: 3, Data: []byte("abc")}, D: types.Digest{1}, Sig: []byte("s")},
+		&types.Ord{From: 1, V: 2, N: 3, Txs: []types.Transaction{{Timestamp: 9, Client: 1, Data: []byte("x")}}, Sig: []byte("s")},
+		&types.CampVC{From: 1, VPrime: 7, RP: 4, Nonce: []byte{1, 2}, Sig: []byte("s")},
+		&types.VcBlockMsg{From: 1, Block: *types.GenesisVcBlock(4, 1, 1, 1), Sig: []byte("s")},
+		&types.SyncResp{From: 1, Kind: types.SyncTx, TxBlocks: []types.TxBlock{*types.GenesisTxBlock()}},
+	}
+	for _, m := range msgs {
+		if err := cli.Send(srv.Addr(), m); err != nil {
+			t.Fatalf("send %s: %v", m.Type(), err)
+		}
+	}
+	for _, want := range msgs {
+		select {
+		case env := <-ch:
+			if env.FromServer != 1 {
+				t.Fatalf("sender identity lost: %+v", env)
+			}
+			if env.Msg.Type() != want.Type() {
+				t.Fatalf("got %s, want %s (in-order delivery)", env.Msg.Type(), want.Type())
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s", want.Type())
+		}
+	}
+
+	// Payload integrity on a representative message.
+	cli2 := NewClientTransport(9)
+	defer cli2.Close()
+	orig := &types.Prop{Tx: types.Transaction{Timestamp: 42, Client: 9, Data: []byte("payload")}, Sig: []byte("sig")}
+	orig.D = orig.Tx.Digest()
+	if err := cli2.Send(srv.Addr(), orig); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-ch:
+		if env.FromClient != 9 {
+			t.Fatalf("client identity lost: %+v", env)
+		}
+		got := env.Msg.(*types.Prop)
+		if got.Tx.Timestamp != 42 || string(got.Tx.Data) != "payload" || got.D != orig.D {
+			t.Fatalf("payload mangled: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestSendToDeadPeerFails(t *testing.T) {
+	cli := NewServerTransport(1)
+	defer cli.Close()
+	if err := cli.Send("127.0.0.1:1", &types.Ref{From: 1, Sig: []byte("s")}); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+}
+
+func TestConnectionReuseAndRecovery(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+
+	if err := cli.Send(addr, &types.Ref{From: 1, V: 1, Sig: []byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	// Kill the server, sends should start failing (possibly after one
+	// buffered write), then recover once a new listener appears.
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cli.Send(addr, &types.Ref{From: 1, V: 2, Sig: []byte("s")}) != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv2 := NewServerTransport(2)
+	if err := srv2.Listen(addr, h); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	ok := false
+	for i := 0; i < 100 && !ok; i++ {
+		if err := cli.Send(addr, &types.Ref{From: 1, V: 3, Sig: []byte("s")}); err == nil {
+			ok = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("transport did not recover after listener restart")
+	}
+}

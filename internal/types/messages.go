@@ -1,0 +1,417 @@
+package types
+
+import (
+	"encoding/binary"
+)
+
+// Message is implemented by every protocol message exchanged between
+// servers and clients. Type identifies the message for logging and metric
+// purposes; WireSize is the modeled on-the-wire size in bytes used by the
+// simulator's bandwidth model.
+type Message interface {
+	Type() string
+	WireSize() int
+}
+
+// Signed is implemented by messages that carry a signature over their
+// canonical SigningBytes.
+type Signed interface {
+	Message
+	SigningBytes() []byte
+	Signature() []byte
+}
+
+const (
+	sigSize    = 64 // ed25519 signature
+	headerSize = 16 // modeled per-message framing overhead
+)
+
+// --- Client-facing messages ------------------------------------------------
+
+// Prop is a client proposal ⟨Prop, t, d, c, σc, tx⟩ (§4.3). Clients
+// broadcast it to all servers.
+type Prop struct {
+	Tx  Transaction
+	D   Digest // digest of the transaction
+	Sig []byte // client signature over (t, d, c)
+}
+
+func (m *Prop) Type() string { return "Prop" }
+func (m *Prop) WireSize() int {
+	return headerSize + 8 + 32 + 4 + len(m.Tx.Data) + sigSize
+}
+
+// SigningBytes covers the timestamp, digest, and client ID, matching the
+// paper's σc that signs t, d, and c.
+func (m *Prop) SigningBytes() []byte {
+	buf := make([]byte, 0, 8+32+4)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Tx.Timestamp))
+	buf = append(buf, m.D[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Tx.Client))
+	return buf
+}
+func (m *Prop) Signature() []byte { return m.Sig }
+
+// Notif notifies a client that its transaction committed. A client considers
+// its transaction committed upon receiving f+1 matching Notifs.
+type Notif struct {
+	From   ServerID
+	V      View
+	N      SeqNum // sequence number of the committing txBlock
+	TxD    Digest // digest of the client's transaction
+	Status bool   // per-transaction consensus result
+	Sig    []byte
+}
+
+func (m *Notif) Type() string  { return "Notif" }
+func (m *Notif) WireSize() int { return headerSize + 2 + 8 + 8 + 32 + 1 + sigSize }
+func (m *Notif) SigningBytes() []byte {
+	buf := make([]byte, 0, 2+8+8+32+1)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.V))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.N))
+	buf = append(buf, m.TxD[:]...)
+	if m.Status {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+func (m *Notif) Signature() []byte { return m.Sig }
+
+// Compt is a client complaint (§4.2.1): the client rebroadcasts its proposal
+// suspecting a leader failure.
+type Compt struct {
+	Prop Prop
+	Sig  []byte // client signature over the complaint
+}
+
+func (m *Compt) Type() string         { return "Compt" }
+func (m *Compt) WireSize() int        { return headerSize + m.Prop.WireSize() + sigSize }
+func (m *Compt) SigningBytes() []byte { return append([]byte("compt"), m.Prop.SigningBytes()...) }
+func (m *Compt) Signature() []byte    { return m.Sig }
+
+// --- View-change messages (§4.2) -------------------------------------------
+
+// ConfReason distinguishes failure-detection view changes (client complaint)
+// from policy-defined view changes (e.g. a timing policy, §4.2.1).
+type ConfReason uint8
+
+const (
+	// ReasonComplaint marks a view change triggered by an unserved client
+	// complaint.
+	ReasonComplaint ConfReason = iota + 1
+	// ReasonPolicy marks a view change triggered by a policy (timing or
+	// throughput threshold).
+	ReasonPolicy
+)
+
+// ConfVC starts an inspection of the current leader: the sender suspects the
+// leader failed to commit the complained transaction (or a policy fired) and
+// asks the other servers to confirm.
+type ConfVC struct {
+	From   ServerID
+	V      View
+	Reason ConfReason
+	TxD    Digest // digest of the complained transaction (ReasonComplaint)
+	Client ClientID
+	Sig    []byte
+}
+
+func (m *ConfVC) Type() string  { return "ConfVC" }
+func (m *ConfVC) WireSize() int { return headerSize + 2 + 8 + 1 + 32 + 4 + sigSize }
+func (m *ConfVC) SigningBytes() []byte {
+	buf := make([]byte, 0, 2+8+1+32+4)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.V))
+	buf = append(buf, byte(m.Reason))
+	buf = append(buf, m.TxD[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Client))
+	return buf
+}
+func (m *ConfVC) Signature() []byte { return m.Sig }
+
+// ReVC replies to a ConfVC: the sender confirms it observed the same
+// complaint (or the same policy trigger) in view V. f+1 ReVCs form conf_QC.
+type ReVC struct {
+	From ServerID
+	To   ServerID // the inspecting server this reply supports
+	V    View
+	Sig  []byte
+}
+
+func (m *ReVC) Type() string  { return "ReVC" }
+func (m *ReVC) WireSize() int { return headerSize + 2 + 2 + 8 + sigSize }
+func (m *ReVC) SigningBytes() []byte {
+	return QCStatementBytes(QCConf, m.V, SeqNum(m.To), Digest{})
+}
+func (m *ReVC) Signature() []byte { return m.Sig }
+
+// CampVC is a candidate's campaign message (Algo. 2 line 43):
+// ⟨conf_QC, V, V', rp, nc, hr, ci, txBlock, σ⟩.
+type CampVC struct {
+	From   ServerID
+	ConfQC QC
+	V      View   // the view the campaigner departed from
+	VPrime View   // the view campaigned for
+	RP     int64  // claimed reputation penalty for V'
+	CI     int64  // claimed compensation index for V'
+	Nonce  []byte // PoW nonce
+	HR     Digest // PoW hash result
+	TxN    SeqNum // candidate's latest txBlock sequence number
+	TxHash Digest // candidate's latest txBlock hash (the PoW seed block)
+	VcN    View   // candidate's latest vcBlock view (for SyncUp decisions)
+	Sig    []byte
+}
+
+func (m *CampVC) Type() string { return "CampVC" }
+func (m *CampVC) WireSize() int {
+	return headerSize + 2 + m.ConfQC.WireSize() + 8*4 + 8 + len(m.Nonce) + 32 + 32 + sigSize
+}
+func (m *CampVC) SigningBytes() []byte {
+	buf := make([]byte, 0, 128)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.V))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.VPrime))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.RP))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.CI))
+	buf = append(buf, m.Nonce...)
+	buf = append(buf, m.HR[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.TxN))
+	buf = append(buf, m.TxHash[:]...)
+	return buf
+}
+func (m *CampVC) Signature() []byte { return m.Sig }
+
+// VoteCP is a follower's vote for a candidate in view VPrime.
+type VoteCP struct {
+	From   ServerID
+	Cand   ServerID
+	VPrime View
+	Sig    []byte
+}
+
+func (m *VoteCP) Type() string  { return "VoteCP" }
+func (m *VoteCP) WireSize() int { return headerSize + 2 + 2 + 8 + sigSize }
+func (m *VoteCP) SigningBytes() []byte {
+	return QCStatementBytes(QCVote, m.VPrime, SeqNum(m.Cand), Digest{})
+}
+func (m *VoteCP) Signature() []byte { return m.Sig }
+
+// VcBlockMsg broadcasts the new leader's vcBlock (Algo. 2 line 51).
+type VcBlockMsg struct {
+	From  ServerID
+	Block VcBlock
+	Sig   []byte
+}
+
+func (m *VcBlockMsg) Type() string { return "VcBlock" }
+func (m *VcBlockMsg) WireSize() int {
+	return headerSize + 2 + 8 + 2 + 32 + m.Block.ConfQC.WireSize() + m.Block.VcQC.WireSize() +
+		len(m.Block.RP)*18 + sigSize
+}
+func (m *VcBlockMsg) SigningBytes() []byte {
+	d := m.Block.Hash()
+	return append([]byte("vcblock"), d[:]...)
+}
+func (m *VcBlockMsg) Signature() []byte { return m.Sig }
+
+// VcYes acknowledges a valid vcBlock. 2f+1 vcYes messages complete VC
+// consensus (§4.2.4).
+type VcYes struct {
+	From      ServerID
+	V         View
+	BlockHash Digest
+	Sig       []byte
+}
+
+func (m *VcYes) Type() string  { return "VcYes" }
+func (m *VcYes) WireSize() int { return headerSize + 2 + 8 + 32 + sigSize }
+func (m *VcYes) SigningBytes() []byte {
+	return QCStatementBytes(QCGeneric, m.V, 0, m.BlockHash)
+}
+func (m *VcYes) Signature() []byte { return m.Sig }
+
+// --- Refresh messages (§4.2.5) ---------------------------------------------
+
+// Ref requests a reputation refresh: the sender's rp exceeded the threshold π.
+type Ref struct {
+	From ServerID
+	V    View
+	Sig  []byte
+}
+
+func (m *Ref) Type() string  { return "Ref" }
+func (m *Ref) WireSize() int { return headerSize + 2 + 8 + sigSize }
+func (m *Ref) SigningBytes() []byte {
+	return QCStatementBytes(QCRefresh, m.V, 0, Digest{})
+}
+func (m *Ref) Signature() []byte { return m.Sig }
+
+// Rdone announces a completed refresh backed by rs_QC; receivers reset the
+// sender's rp and ci in the current vcBlock.
+type Rdone struct {
+	From ServerID
+	V    View
+	RsQC QC
+	RP   int64
+	CI   int64
+	Sig  []byte
+}
+
+func (m *Rdone) Type() string  { return "Rdone" }
+func (m *Rdone) WireSize() int { return headerSize + 2 + 8 + m.RsQC.WireSize() + 16 + sigSize }
+func (m *Rdone) SigningBytes() []byte {
+	buf := make([]byte, 0, 2+8+16)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.V))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.RP))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.CI))
+	return buf
+}
+func (m *Rdone) Signature() []byte { return m.Sig }
+
+// --- Replication messages (§4.3) -------------------------------------------
+
+// Ord starts phase 1 of a replication instance: the leader assigns sequence
+// number N to a batch of proposals.
+type Ord struct {
+	From ServerID
+	V    View
+	N    SeqNum
+	Prev Digest // previous txBlock hash, chaining the log
+	Txs  []Transaction
+	Sig  []byte
+}
+
+func (m *Ord) Type() string { return "Ord" }
+func (m *Ord) WireSize() int {
+	size := headerSize + 2 + 8 + 8 + 32 + sigSize
+	for i := range m.Txs {
+		size += 16 + len(m.Txs[i].Data)
+	}
+	return size
+}
+func (m *Ord) SigningBytes() []byte {
+	b := &TxBlock{Header: TxBlockHeader{V: m.V, N: m.N, PrevHash: m.Prev, BatchLen: uint32(len(m.Txs))}, Txs: m.Txs}
+	d := b.ContentDigest()
+	return QCStatementBytes(QCOrdering, m.V, m.N, d)
+}
+func (m *Ord) Signature() []byte { return m.Sig }
+
+// OrdReply is a follower's phase-1 vote, signed over the ordering statement.
+type OrdReply struct {
+	From ServerID
+	V    View
+	N    SeqNum
+	D    Digest // ContentDigest of the proposed block
+	Sig  []byte
+}
+
+func (m *OrdReply) Type() string  { return "OrdReply" }
+func (m *OrdReply) WireSize() int { return headerSize + 2 + 8 + 8 + 32 + sigSize }
+func (m *OrdReply) SigningBytes() []byte {
+	return QCStatementBytes(QCOrdering, m.V, m.N, m.D)
+}
+func (m *OrdReply) Signature() []byte { return m.Sig }
+
+// Cmt starts phase 2: the leader broadcasts the assembled ordering_QC.
+type Cmt struct {
+	From       ServerID
+	V          View
+	N          SeqNum
+	OrderingQC QC
+	Sig        []byte
+}
+
+func (m *Cmt) Type() string  { return "Cmt" }
+func (m *Cmt) WireSize() int { return headerSize + 2 + 8 + 8 + m.OrderingQC.WireSize() + sigSize }
+func (m *Cmt) SigningBytes() []byte {
+	return QCStatementBytes(QCCommit, m.V, m.N, m.OrderingQC.Digest)
+}
+func (m *Cmt) Signature() []byte { return m.Sig }
+
+// CmtReply is a follower's phase-2 vote.
+type CmtReply struct {
+	From ServerID
+	V    View
+	N    SeqNum
+	D    Digest
+	Sig  []byte
+}
+
+func (m *CmtReply) Type() string  { return "CmtReply" }
+func (m *CmtReply) WireSize() int { return headerSize + 2 + 8 + 8 + 32 + sigSize }
+func (m *CmtReply) SigningBytes() []byte {
+	return QCStatementBytes(QCCommit, m.V, m.N, m.D)
+}
+func (m *CmtReply) Signature() []byte { return m.Sig }
+
+// TxBlockMsg broadcasts the finished txBlock with its commit_QC so followers
+// can commit and notify clients.
+type TxBlockMsg struct {
+	From  ServerID
+	Block TxBlock
+	Sig   []byte
+}
+
+func (m *TxBlockMsg) Type() string { return "TxBlock" }
+func (m *TxBlockMsg) WireSize() int {
+	size := headerSize + 2 + 8*3 + 32 + m.Block.OrderingQC.WireSize() + m.Block.CommitQC.WireSize() + sigSize
+	for i := range m.Block.Txs {
+		size += 16 + len(m.Block.Txs[i].Data) + 1
+	}
+	return size
+}
+func (m *TxBlockMsg) SigningBytes() []byte {
+	d := m.Block.Hash()
+	return append([]byte("txblock"), d[:]...)
+}
+func (m *TxBlockMsg) Signature() []byte { return m.Sig }
+
+// --- Log synchronization (SyncUp, §4.2.3) -----------------------------------
+
+// SyncKind selects which chain a SyncReq targets.
+type SyncKind uint8
+
+const (
+	// SyncTx requests txBlocks.
+	SyncTx SyncKind = iota + 1
+	// SyncVc requests vcBlocks.
+	SyncVc
+)
+
+// SyncReq asks a peer for missing blocks in [Start, End].
+type SyncReq struct {
+	From  ServerID
+	Kind  SyncKind
+	Start uint64
+	End   uint64
+}
+
+func (m *SyncReq) Type() string  { return "SyncReq" }
+func (m *SyncReq) WireSize() int { return headerSize + 2 + 1 + 16 }
+
+// SyncResp returns the requested blocks. Blocks are self-certifying through
+// their QCs, so the response itself is unsigned.
+type SyncResp struct {
+	From     ServerID
+	Kind     SyncKind
+	TxBlocks []TxBlock
+	VcBlocks []VcBlock
+}
+
+func (m *SyncResp) Type() string { return "SyncResp" }
+func (m *SyncResp) WireSize() int {
+	size := headerSize + 2 + 1
+	for i := range m.TxBlocks {
+		tb := TxBlockMsg{Block: m.TxBlocks[i]}
+		size += tb.WireSize()
+	}
+	for i := range m.VcBlocks {
+		vb := VcBlockMsg{Block: m.VcBlocks[i]}
+		size += vb.WireSize()
+	}
+	return size
+}
