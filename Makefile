@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Short wall-clock sanity run (skips the long simulation experiments).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Machine-readable figure results for the perf trajectory.
+bench-json:
+	$(GO) run ./cmd/prestige-bench -experiment all -json bench.json
+
+clean:
+	rm -f bench.json

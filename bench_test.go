@@ -3,8 +3,8 @@ package prestigebft_test
 // One benchmark per table/figure of the paper's evaluation (§6), plus
 // micro-benchmarks for the core primitives. Each figure benchmark runs the
 // corresponding experiment (scaled-down by default) and reports its headline
-// numbers through b.ReportMetric; the full rendered tables land in
-// EXPERIMENTS.md via cmd/prestige-bench.
+// numbers through b.ReportMetric; the full rendered tables (and -json
+// machine-readable output) come from cmd/prestige-bench.
 //
 // Set PRESTIGE_FULL=1 to run the paper-scale versions (minutes of wall
 // clock per figure).
@@ -35,13 +35,22 @@ func scale() harness.Scale {
 	return harness.Quick
 }
 
-// report re-renders an experiment's rows as benchmark metrics.
+// report re-renders an experiment's rows as benchmark metrics, plus the
+// mean across rows under the bare metric name — the headline number the
+// BENCH_*.json perf trajectory tracks per figure.
 func report(b *testing.B, res *harness.Result, metric string) {
 	b.Helper()
+	var sum float64
+	var n int
 	for _, row := range res.Rows {
 		if v, ok := row.Values[metric]; ok {
 			b.ReportMetric(v, strings.ReplaceAll(row.Label, " ", "_")+"_"+metric)
+			sum += v
+			n++
 		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), metric)
 	}
 }
 

@@ -5,13 +5,19 @@
 //
 //	prestige-bench -experiment fig9            # one figure, quick scale
 //	prestige-bench -experiment all -full       # everything at paper scale
+//	prestige-bench -experiment all -json o.json  # also write machine-readable results
+//	prestige-bench -workers 1                  # force sequential execution
 //	prestige-bench -list                       # enumerate experiments
 //
-// Results print as text tables; EXPERIMENTS.md maps each experiment to the
-// paper's figure and records reference outputs.
+// Results print as text tables; with -json they are also written as a JSON
+// document (one object per experiment) for the perf trajectory. Figure grids
+// run their independent simulation cells on a worker pool (-workers, default
+// one per CPU); results are deterministic and identical for any worker
+// count. DESIGN.md §5 maps each experiment to the paper's figure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +31,21 @@ import (
 	_ "prestigebft/internal/baseline/sbft"
 )
 
+// benchOutput is the schema of the -json document.
+type benchOutput struct {
+	Scale   string            `json:"scale"`
+	Results []*harness.Result `json:"results"`
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run (fig4c, fig6..fig14, peak, all)")
 	full := flag.Bool("full", false, "run at paper scale (minutes of wall clock per figure)")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path")
+	workers := flag.Int("workers", 0, "worker-pool size for experiment grids (0 = one per CPU)")
 	flag.Parse()
+
+	harness.Workers = *workers
 
 	names := make([]string, 0, len(harness.Experiments))
 	for n := range harness.Experiments {
@@ -45,10 +61,13 @@ func main() {
 	}
 
 	scale := harness.Quick
+	scaleName := "quick"
 	if *full {
 		scale = harness.Full
+		scaleName = "full"
 	}
 
+	out := benchOutput{Scale: scaleName}
 	run := func(name string) {
 		runner, ok := harness.Experiments[name]
 		if !ok {
@@ -57,6 +76,7 @@ func main() {
 		}
 		start := time.Now()
 		res := runner(scale)
+		out.Results = append(out.Results, res)
 		fmt.Println(res)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -65,7 +85,21 @@ func main() {
 		for _, n := range names {
 			run(n)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment results to %s\n", len(out.Results), *jsonPath)
+	}
 }

@@ -1,0 +1,3 @@
+module prestigebft
+
+go 1.24

@@ -325,13 +325,15 @@ func (r *Replica) onNewView(now time.Duration, m *NewView) []consensus.Effect {
 	r.active = true
 	effs = append(effs, consensus.Trace{Event: consensus.TraceElected, View: r.view, Server: r.cfg.ID})
 	// Proposals observed while a follower become this leader's backlog.
-	for d, prop := range r.propSeen {
+	// Sorted order: the pending queue feeds batch contents, which must not
+	// depend on map iteration.
+	for _, d := range types.SortedDigestKeys(r.propSeen) {
 		if _, committed := r.committedTx[d]; committed {
 			continue
 		}
 		if !r.pendingByDigest[d] {
 			r.pendingByDigest[d] = true
-			r.pending = append(r.pending, prop.Tx)
+			r.pending = append(r.pending, r.propSeen[d].Tx)
 		}
 	}
 	if !r.batchArmed && len(r.pending) > 0 {

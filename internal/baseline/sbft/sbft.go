@@ -12,7 +12,7 @@
 // The paper measured SBFT's peak at 4,872 TPS — an order of magnitude below
 // HotStuff — reflecting its heavyweight threshold cryptography; experiments
 // reproduce that by running sbft clusters under a calibrated
-// high-cost CPU model (see EXPERIMENTS.md).
+// high-cost CPU model (see DESIGN.md §4).
 package sbft
 
 import (

@@ -417,10 +417,11 @@ func (n *Node) onVcYes(now time.Duration, m *types.VcYes) []consensus.Effect {
 		n.trace(consensus.TraceRPChange, blk.V, n.campRP),
 	)
 	// Outstanding complaints become this leader's backlog (§4.3: an
-	// instance starts on Prop or f+1 Compt messages).
-	for d, prop := range n.comptProp {
+	// instance starts on Prop or f+1 Compt messages). Sorted order: the
+	// backlog's batch order must not depend on map iteration.
+	for _, d := range types.SortedDigestKeys(n.comptProp) {
 		if _, committed := n.committedTx[d]; !committed {
-			effs = append(effs, n.enqueueTx(now, prop)...)
+			effs = append(effs, n.enqueueTx(now, n.comptProp[d])...)
 		}
 	}
 	// Kick replication for any backlog.
@@ -497,7 +498,9 @@ func (n *Node) enterView(now time.Duration, asLeader bool) []consensus.Effect {
 	effs = append(effs, n.armPolicyTimer()...)
 	// Unserved complaints carry into the new view: re-arm their timers so
 	// the new leader is held to them too (liveness across faulty leaders).
-	for d := range n.comptSeen {
+	// Sorted order: each timer draws a randomized timeout, so the RNG
+	// consumption sequence must not depend on map iteration.
+	for _, d := range types.SortedDigestKeys(n.comptSeen) {
 		if _, committed := n.committedTx[d]; committed {
 			continue
 		}

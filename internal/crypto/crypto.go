@@ -29,11 +29,23 @@ type KeyPair struct {
 // Sign signs msg with the private key.
 func (k *KeyPair) Sign(msg []byte) []byte { return ed25519.Sign(k.Priv, msg) }
 
-// deterministicKey derives a key pair from a 64-bit seed. Deterministic key
-// generation keeps simulations and tests reproducible.
-func deterministicKey(seed uint64) KeyPair {
-	var s [ed25519.SeedSize]byte
-	binary.BigEndian.PutUint64(s[:8], seed)
+// Key-derivation domain separators for the two identity classes of a
+// deployment.
+const (
+	domainServer byte = 0x00
+	domainClient byte = 0x01
+)
+
+// deterministicKey derives a key pair by hashing the full (seed, domain,
+// index) tuple. Deterministic key generation keeps simulations and tests
+// reproducible; hashing every input bit guarantees distinct tuples can never
+// alias. (An earlier packing, seed<<20|index, silently dropped the seed's top
+// 20 bits, so deployments whose seeds differed only there shared keys.)
+func deterministicKey(seed uint64, domain byte, index uint64) KeyPair {
+	var s [17]byte
+	binary.BigEndian.PutUint64(s[0:8], seed)
+	s[8] = domain
+	binary.BigEndian.PutUint64(s[9:17], index)
 	h := sha256.Sum256(s[:])
 	priv := ed25519.NewKeyFromSeed(h[:])
 	return KeyPair{Pub: priv.Public().(ed25519.PublicKey), Priv: priv}
@@ -69,13 +81,13 @@ func GenerateDeployment(seed uint64, n, c int) (*Registry, map[types.ServerID]*K
 	servers := make(map[types.ServerID]*KeyPair, n)
 	clients := make(map[types.ClientID]*KeyPair, c)
 	for i := 1; i <= n; i++ {
-		kp := deterministicKey(seed<<20 | uint64(i))
+		kp := deterministicKey(seed, domainServer, uint64(i))
 		id := types.ServerID(i)
 		servers[id] = &kp
 		reg.servers[id] = kp.Pub
 	}
 	for i := 1; i <= c; i++ {
-		kp := deterministicKey(seed<<20 | 1<<19 | uint64(i))
+		kp := deterministicKey(seed, domainClient, uint64(i))
 		id := types.ClientID(i)
 		clients[id] = &kp
 		reg.clients[id] = kp.Pub

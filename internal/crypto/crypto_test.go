@@ -36,6 +36,31 @@ func TestDeploymentDeterminism(t *testing.T) {
 	}
 }
 
+// TestDeploymentSeedsNoHighBitAliasing: regression for the former
+// seed<<20|index derivation, which dropped a seed's top 20 bits — two
+// deployments whose seeds differed only there silently shared every key.
+func TestDeploymentSeedsNoHighBitAliasing(t *testing.T) {
+	msg := []byte("alias-check")
+	_, sa, ca := GenerateDeployment(7, 2, 1)
+	_, sb, cb := GenerateDeployment(7|1<<44, 2, 1)
+	if string(sa[1].Sign(msg)) == string(sb[1].Sign(msg)) {
+		t.Fatal("seeds differing only in high bits produced identical server keys")
+	}
+	if string(ca[1].Sign(msg)) == string(cb[1].Sign(msg)) {
+		t.Fatal("seeds differing only in high bits produced identical client keys")
+	}
+	// And the former in-deployment packing hazard: server i of seed s vs
+	// server j of a nearby seed must never alias either.
+	_, sc, _ := GenerateDeployment(8, 2, 1)
+	for i := types.ServerID(1); i <= 2; i++ {
+		for j := types.ServerID(1); j <= 2; j++ {
+			if string(sa[i].Sign(msg)) == string(sc[j].Sign(msg)) {
+				t.Fatalf("server %d of seed 7 aliases server %d of seed 8", i, j)
+			}
+		}
+	}
+}
+
 func TestSignVerify(t *testing.T) {
 	reg, servers, clients := GenerateDeployment(3, 4, 2)
 	msg := []byte("statement")

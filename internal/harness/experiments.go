@@ -11,8 +11,11 @@ import (
 )
 
 // This file contains one runner per table/figure of the paper's evaluation
-// (§6). Each runner returns a Result whose String renders the same rows or
-// series the paper reports. DESIGN.md §5 is the index.
+// (§6). Simulation-backed runners declare a Grid of independent cells (see
+// runner.go) executed on the worker pool; the cheap closed-form tables
+// (fig4c, fig12, the ablation) build their Result directly. Every runner
+// returns a Result whose String renders the same rows or series the paper
+// reports. DESIGN.md §5 is the index.
 //
 // Every runner takes a Scale: Quick is sized for `go test -bench` (seconds
 // of wall clock), Full approaches the paper's durations and counts in
@@ -30,16 +33,16 @@ const (
 
 // Row is one line of an experiment result table.
 type Row struct {
-	Label  string
-	Values map[string]float64
-	Order  []string
+	Label  string             `json:"label"`
+	Values map[string]float64 `json:"values"`
+	Order  []string           `json:"order"`
 }
 
 // Result is a rendered experiment outcome.
 type Result struct {
-	Name  string
-	Notes string
-	Rows  []Row
+	Name  string `json:"name"`
+	Notes string `json:"notes,omitempty"`
+	Rows  []Row  `json:"rows"`
 }
 
 // String renders the result as an aligned text table.
@@ -104,7 +107,7 @@ var Fig6Batches = map[Protocol][]int{
 // stacks of the original implementations the paper benchmarked: SBFT's
 // BLS-style threshold shares are ~20× costlier than ed25519-class ops, and
 // Prosecutor's vote handling verifies O(n) individual signatures per phase.
-// EXPERIMENTS.md documents the calibration.
+// DESIGN.md §4 documents the calibration.
 func baselineCost(p Protocol) sim.CostModel {
 	c := sim.DefaultCostModel()
 	switch p {
@@ -125,10 +128,10 @@ func baselineCost(p Protocol) sim.CostModel {
 	return c
 }
 
-// RunFig6 sweeps batch sizes per algorithm at n=4, m=32 and reports the
-// latency/throughput points of Figure 6.
-func RunFig6(scale Scale) *Result {
-	res := &Result{
+// fig6Grid declares the batching sweep at n=4, m=32 shared by Figure 6 and
+// the peak table.
+func fig6Grid(scale Scale) *Grid {
+	g := &Grid{
 		Name:  "Figure 6: performance under batching (n=4, m=32)",
 		Notes: "paper shape: pb peaks highest (186k TPS @ β=3000 in the paper), hs ~1/5th, pr ≈ hs, sb lowest",
 	}
@@ -149,47 +152,55 @@ func RunFig6(scale Scale) *Result {
 				beta /= 4
 				clients /= 2
 			}
-			tps, lat, _ := measure(Options{
-				Protocol: p, N: 4, Clients: clients, BatchSize: beta,
-				PayloadSize: 32, Seed: 60 + int64(beta),
-				Cost: baselineCost(p),
-			}, warmup, span)
-			res.Rows = append(res.Rows, row(
-				fmt.Sprintf("%s_beta%d", p, beta),
-				"tps", tps, "latency_ms", lat,
-			))
+			g.Specs = append(g.Specs, ExperimentSpec{
+				Label: fmt.Sprintf("%s_beta%d", p, beta),
+				Opts: Options{
+					Protocol: p, N: 4, Clients: clients, BatchSize: beta,
+					PayloadSize: 32, Seed: 60 + int64(beta),
+					Cost: baselineCost(p),
+				},
+				Warmup: warmup, Span: span,
+			})
 		}
 	}
-	return res
+	return g
+}
+
+// RunFig6 sweeps batch sizes per algorithm at n=4, m=32 and reports the
+// latency/throughput points of Figure 6.
+func RunFig6(scale Scale) *Result {
+	return fig6Grid(scale).Run()
 }
 
 // RunPeak extracts the best operating point per algorithm (the §6.1 peak
-// performance comparison).
+// performance comparison) from the Figure 6 sweep.
 func RunPeak(scale Scale) *Result {
-	fig6 := RunFig6(scale)
-	res := &Result{
-		Name:  "Peak performance (best batch per algorithm, §6.1)",
-		Notes: "paper: pb 186,012 TPS / 166 ms; hs 35,428 TPS / 129 ms; sb 4,872 TPS / 148 ms",
-	}
-	best := map[string]Row{}
-	for _, r := range fig6.Rows {
-		name := strings.Split(r.Label, "_beta")[0]
-		if cur, ok := best[name]; !ok || r.Values["tps"] > cur.Values["tps"] {
-			best[name] = r
+	g := fig6Grid(scale)
+	g.Name = "Peak performance (best batch per algorithm, §6.1)"
+	g.Notes = "paper: pb 186,012 TPS / 166 ms; hs 35,428 TPS / 129 ms; sb 4,872 TPS / 148 ms"
+	g.Finalize = func(rows []Row) []Row {
+		best := map[string]Row{}
+		for _, r := range rows {
+			name := strings.Split(r.Label, "_beta")[0]
+			if cur, ok := best[name]; !ok || r.Values["tps"] > cur.Values["tps"] {
+				best[name] = r
+			}
 		}
-	}
-	for _, p := range []Protocol{PrestigeBFT, HotStuff, Prosecutor, SBFT} {
-		if r, ok := best[string(p)]; ok {
-			r.Label = string(p) + "_peak(" + r.Label + ")"
-			res.Rows = append(res.Rows, r)
+		var out []Row
+		for _, p := range []Protocol{PrestigeBFT, HotStuff, Prosecutor, SBFT} {
+			if r, ok := best[string(p)]; ok {
+				r.Label = string(p) + "_peak(" + r.Label + ")"
+				out = append(out, r)
+			}
 		}
-	}
-	if pb, ok := best[string(PrestigeBFT)]; ok {
-		if hs, ok2 := best[string(HotStuff)]; ok2 && hs.Values["tps"] > 0 {
-			res.Rows = append(res.Rows, row("pb/hs_speedup", "x", pb.Values["tps"]/hs.Values["tps"]))
+		if pb, ok := best[string(PrestigeBFT)]; ok {
+			if hs, ok2 := best[string(HotStuff)]; ok2 && hs.Values["tps"] > 0 {
+				out = append(out, row("pb/hs_speedup", "x", pb.Values["tps"]/hs.Values["tps"]))
+			}
 		}
+		return out
 	}
-	return res
+	return g.Run()
 }
 
 // --- E2 / Figure 7 -------------------------------------------------------------
@@ -197,7 +208,7 @@ func RunPeak(scale Scale) *Result {
 // RunFig7 measures throughput and latency at increasing scales for pb and hs
 // under two message sizes and two emulated network delays.
 func RunFig7(scale Scale) *Result {
-	res := &Result{
+	g := &Grid{
 		Name:  "Figure 7: scalability (n up to 100, m=32/64, d=0/10±5ms)",
 		Notes: "paper shape: both decrease with n; added delay inflates latency; pb stays above hs",
 	}
@@ -223,20 +234,20 @@ func RunFig7(scale Scale) *Result {
 						}
 					}
 					beta := batches[p]
-					tps, lat, _ := measure(Options{
-						Protocol: p, N: n, Clients: beta, BatchSize: beta,
-						PayloadSize: m, Seed: 70 + int64(n) + int64(d/time.Millisecond),
-						Net: net, Cost: baselineCost(p),
-					}, warmup, span)
-					res.Rows = append(res.Rows, row(
-						fmt.Sprintf("%s_m%d_d%d_n%d", p, m, d/time.Millisecond, n),
-						"tps", tps, "latency_ms", lat,
-					))
+					g.Specs = append(g.Specs, ExperimentSpec{
+						Label: fmt.Sprintf("%s_m%d_d%d_n%d", p, m, d/time.Millisecond, n),
+						Opts: Options{
+							Protocol: p, N: n, Clients: beta, BatchSize: beta,
+							PayloadSize: m, Seed: 70 + int64(n) + int64(d/time.Millisecond),
+							Net: net, Cost: baselineCost(p),
+						},
+						Warmup: warmup, Span: span,
+					})
 				}
 			}
 		}
 	}
-	return res
+	return g.Run()
 }
 
 // --- E3 / Figure 8 -------------------------------------------------------------
@@ -244,7 +255,7 @@ func RunFig7(scale Scale) *Result {
 // RunFig8 measures the probability of split votes under increasing timeout
 // randomization ε, with and without timeout attacks (F1).
 func RunFig8(scale Scale) *Result {
-	res := &Result{
+	g := &Grid{
 		Name:  "Figure 8: split votes vs timeout randomization",
 		Notes: "paper shape: without faults split votes vanish by ε=50ms; F1 raises them slightly but not past ε=100ms",
 	}
@@ -259,16 +270,22 @@ func RunFig8(scale Scale) *Result {
 	for _, byz := range []bool{false, true} {
 		for _, n := range ns {
 			for _, eps := range epsilons {
-				prob := splitVoteProbability(n, eps, byz, targetRounds)
 				label := fmt.Sprintf("n%d_eps%dms", n, eps/time.Millisecond)
 				if byz {
 					label = "byz_" + label
 				}
-				res.Rows = append(res.Rows, row(label, "split_vote_pct", prob*100))
+				n, eps, byz := n, eps, byz
+				g.Specs = append(g.Specs, ExperimentSpec{
+					Label: label,
+					Measure: func(s *ExperimentSpec) []Row {
+						prob := splitVoteProbability(n, eps, byz, targetRounds)
+						return []Row{row(s.Label, "split_vote_pct", prob*100)}
+					},
+				})
 			}
 		}
 	}
-	return res
+	return g.Run()
 }
 
 // splitVoteProbability drives repeated view changes with a fast timing
@@ -384,7 +401,7 @@ func RunFig10(scale Scale) *Result {
 }
 
 func runAttackGrid(name, notes string, repeatedVC bool, scale Scale) *Result {
-	res := &Result{Name: name, Notes: notes}
+	g := &Grid{Name: name, Notes: notes}
 	cells := []struct {
 		n  int
 		fs []int
@@ -403,14 +420,18 @@ func runAttackGrid(name, notes string, repeatedVC bool, scale Scale) *Result {
 				for _, cell := range cells {
 					for _, f := range cell.fs {
 						a := AttackConfig{Protocol: p, Rotate: rot, Mode: mode, RepeatedVC: repeatedVC, N: cell.n, F: f}
-						tps := RunAttack(a, scale)
-						res.Rows = append(res.Rows, row(a.label(), "tps", tps))
+						g.Specs = append(g.Specs, ExperimentSpec{
+							Label: a.label(),
+							Measure: func(s *ExperimentSpec) []Row {
+								return []Row{row(s.Label, "tps", RunAttack(a, scale))}
+							},
+						})
 					}
 				}
 			}
 		}
 	}
-	return res
+	return g.Run()
 }
 
 // --- E6 / Figure 11 --------------------------------------------------------------
@@ -418,7 +439,7 @@ func runAttackGrid(name, notes string, repeatedVC bool, scale Scale) *Result {
 // RunFig11 produces the throughput-recovery timeline under F4+F2 for
 // pb_r10_quiet at f = 0, 1, 3, 5 (n = 16), normalized to the f=0 level.
 func RunFig11(scale Scale) *Result {
-	res := &Result{
+	g := &Grid{
 		Name:  "Figure 11: throughput recovery under F4+F2 (pb_r10_quiet, n=16)",
 		Notes: "paper shape: early attacks suppress TPS; reputation penalties lock attackers out and TPS recovers toward ~87% by t=1000s",
 	}
@@ -428,46 +449,63 @@ func RunFig11(scale Scale) *Result {
 		span = 1000 * time.Second
 		window = 50 * time.Second
 	}
-	baseline := 0.0
 	for _, f := range []int{0, 1, 3, 5} {
-		fa := map[types.ServerID]faults.Spec{}
-		for i := 0; i < f; i++ {
-			fa[types.ServerID(16-i)] = faults.Spec{
-				Mode: faults.Quiet, RepeatedVC: true, HashRateScale: float64(max(1, f)),
-			}
-		}
-		c := NewCluster(Options{
-			Protocol: PrestigeBFT, N: 16,
-			Clients: 50, ClientThinkTime: 4 * time.Millisecond, BatchSize: 50,
-			Seed:       110 + int64(f),
-			ViewPolicy: 10 * time.Second,
-			TimeoutMin: 800 * time.Millisecond, TimeoutMax: 1200 * time.Millisecond,
-			ClientTimeout: 2 * time.Second,
-			Faults:        fa,
+		f := f
+		g.Specs = append(g.Specs, ExperimentSpec{
+			Label: fmt.Sprintf("f%d", f),
+			Measure: func(s *ExperimentSpec) []Row {
+				fa := map[types.ServerID]faults.Spec{}
+				for i := 0; i < f; i++ {
+					fa[types.ServerID(16-i)] = faults.Spec{
+						Mode: faults.Quiet, RepeatedVC: true, HashRateScale: float64(max(1, f)),
+					}
+				}
+				c := NewCluster(Options{
+					Protocol: PrestigeBFT, N: 16,
+					Clients: 50, ClientThinkTime: 4 * time.Millisecond, BatchSize: 50,
+					Seed:       110 + int64(f),
+					ViewPolicy: 10 * time.Second,
+					TimeoutMin: 800 * time.Millisecond, TimeoutMax: 1200 * time.Millisecond,
+					ClientTimeout: 2 * time.Second,
+					Faults:        fa,
+				})
+				c.Start()
+				c.Run(span)
+				tl := c.Metrics.Timeline(sim.Duration(span), window)
+				rows := make([]Row, 0, len(tl))
+				for i, v := range tl {
+					rows = append(rows, row(
+						fmt.Sprintf("f%d_t%ds", f, int(window.Seconds())*i),
+						"recovery_pct", 0.0, "tps", v,
+					))
+				}
+				return rows
+			},
 		})
-		c.Start()
-		c.Run(span)
-		tl := c.Metrics.Timeline(sim.Duration(span), window)
-		if f == 0 {
-			// Baseline level: mean of the f=0 timeline.
-			var sum float64
-			for _, v := range tl {
-				sum += v
-			}
-			baseline = sum / float64(len(tl))
-		}
-		for i, v := range tl {
-			pct := 0.0
-			if baseline > 0 {
-				pct = v / baseline * 100
-			}
-			res.Rows = append(res.Rows, row(
-				fmt.Sprintf("f%d_t%ds", f, int(window.Seconds())*i),
-				"recovery_pct", pct, "tps", v,
-			))
-		}
 	}
-	return res
+	// Normalization is cross-cell (every series is reported relative to the
+	// f=0 mean), so it runs after the grid completes.
+	g.Finalize = func(rows []Row) []Row {
+		var sum float64
+		var n int
+		for _, r := range rows {
+			if strings.HasPrefix(r.Label, "f0_") {
+				sum += r.Values["tps"]
+				n++
+			}
+		}
+		baseline := 0.0
+		if n > 0 {
+			baseline = sum / float64(n)
+		}
+		for i := range rows {
+			if baseline > 0 {
+				rows[i].Values["recovery_pct"] = rows[i].Values["tps"] / baseline * 100
+			}
+		}
+		return rows
+	}
+	return g.Run()
 }
 
 // --- E7 / Figure 12 ---------------------------------------------------------------
@@ -507,7 +545,7 @@ func RunFig12(scale Scale) *Result {
 // RunFig13 runs the f=3 repeated-VC attack on n=16 and reports each
 // server's reputation penalty trajectory.
 func RunFig13(scale Scale) *Result {
-	res := &Result{
+	g := &Grid{
 		Name:  "Figure 13: reputation penalties under f=3 repeated VC attacks (n=16)",
 		Notes: "paper shape: attackers (S14-S16 here) climb toward rp≈8 and stall; correct servers stay near 1",
 	}
@@ -515,38 +553,45 @@ func RunFig13(scale Scale) *Result {
 	if scale == Full {
 		span = 600 * time.Second
 	}
-	fa := map[types.ServerID]faults.Spec{}
-	for i := 0; i < 3; i++ {
-		fa[types.ServerID(16-i)] = faults.Spec{Mode: faults.Quiet, RepeatedVC: true, HashRateScale: 3}
-	}
-	c := NewCluster(Options{
-		Protocol: PrestigeBFT, N: 16,
-		Clients: 60, ClientThinkTime: 2 * time.Millisecond, BatchSize: 50,
-		Seed:       130,
-		ViewPolicy: 10 * time.Second,
-		TimeoutMin: 800 * time.Millisecond, TimeoutMax: 1200 * time.Millisecond,
-		ClientTimeout: 2 * time.Second,
-		Faults:        fa,
-	})
-	c.Start()
-	c.Run(span)
-	node := c.Nodes[0]
-	for i := 1; i <= 16; i++ {
-		id := types.ServerID(i)
-		final := node.ReputationPenalty(id)
-		peak := final
-		for _, pt := range c.Metrics.RPSeries[id] {
-			if pt.RP > peak {
-				peak = pt.RP
+	g.Specs = append(g.Specs, ExperimentSpec{
+		Label: "rp_trajectories",
+		Measure: func(*ExperimentSpec) []Row {
+			fa := map[types.ServerID]faults.Spec{}
+			for i := 0; i < 3; i++ {
+				fa[types.ServerID(16-i)] = faults.Spec{Mode: faults.Quiet, RepeatedVC: true, HashRateScale: 3}
 			}
-		}
-		res.Rows = append(res.Rows, row(
-			fmt.Sprintf("S%d(faulty=%v)", i, fa[id].IsFaulty()),
-			"final_rp", float64(final), "peak_rp", float64(peak),
-			"elections", float64(len(c.Metrics.RPSeries[id])),
-		))
-	}
-	return res
+			c := NewCluster(Options{
+				Protocol: PrestigeBFT, N: 16,
+				Clients: 60, ClientThinkTime: 2 * time.Millisecond, BatchSize: 50,
+				Seed:       130,
+				ViewPolicy: 10 * time.Second,
+				TimeoutMin: 800 * time.Millisecond, TimeoutMax: 1200 * time.Millisecond,
+				ClientTimeout: 2 * time.Second,
+				Faults:        fa,
+			})
+			c.Start()
+			c.Run(span)
+			node := c.Nodes[0]
+			rows := make([]Row, 0, 16)
+			for i := 1; i <= 16; i++ {
+				id := types.ServerID(i)
+				final := node.ReputationPenalty(id)
+				peak := final
+				for _, pt := range c.Metrics.RPSeries[id] {
+					if pt.RP > peak {
+						peak = pt.RP
+					}
+				}
+				rows = append(rows, row(
+					fmt.Sprintf("S%d(faulty=%v)", i, fa[id].IsFaulty()),
+					"final_rp", float64(final), "peak_rp", float64(peak),
+					"elections", float64(len(c.Metrics.RPSeries[id])),
+				))
+			}
+			return rows
+		},
+	})
+	return g.Run()
 }
 
 // --- E9 / Figure 14 ---------------------------------------------------------------
@@ -554,7 +599,7 @@ func RunFig13(scale Scale) *Result {
 // RunFig14 compares availability over time: pb under attacker strategies S1
 // (always attack) and S2 (attack only when compensable) versus hs, f=3.
 func RunFig14(scale Scale) *Result {
-	res := &Result{
+	g := &Grid{
 		Name:  "Figure 14: availability under repeated VC attacks (f=3, n=16)",
 		Notes: "paper shape: pb-S1 and pb-S2 climb toward ~100%; hs stays far lower",
 	}
@@ -569,39 +614,47 @@ func RunFig14(scale Scale) *Result {
 		smart bool
 	}
 	for _, v := range []variant{{"pb-S1", PrestigeBFT, false}, {"pb-S2", PrestigeBFT, true}, {"hs", HotStuff, false}} {
-		fa := map[types.ServerID]faults.Spec{}
-		for i := 0; i < 3; i++ {
-			fa[types.ServerID(16-i)] = faults.Spec{
-				Mode: faults.Quiet, RepeatedVC: true, Smart: v.smart, HashRateScale: 3,
-			}
-		}
-		c := NewCluster(Options{
-			Protocol: v.proto, N: 16,
-			Clients: 60, ClientThinkTime: 2 * time.Millisecond, BatchSize: 50,
-			Seed:       140,
-			ViewPolicy: 10 * time.Second,
-			TimeoutMin: 800 * time.Millisecond, TimeoutMax: 1200 * time.Millisecond,
-			ClientTimeout: 2 * time.Second,
-			Faults:        fa,
+		v := v
+		g.Specs = append(g.Specs, ExperimentSpec{
+			Label: v.name,
+			Measure: func(*ExperimentSpec) []Row {
+				fa := map[types.ServerID]faults.Spec{}
+				for i := 0; i < 3; i++ {
+					fa[types.ServerID(16-i)] = faults.Spec{
+						Mode: faults.Quiet, RepeatedVC: true, Smart: v.smart, HashRateScale: 3,
+					}
+				}
+				c := NewCluster(Options{
+					Protocol: v.proto, N: 16,
+					Clients: 60, ClientThinkTime: 2 * time.Millisecond, BatchSize: 50,
+					Seed:       140,
+					ViewPolicy: 10 * time.Second,
+					TimeoutMin: 800 * time.Millisecond, TimeoutMax: 1200 * time.Millisecond,
+					ClientTimeout: 2 * time.Second,
+					Faults:        fa,
+				})
+				c.Start()
+				var rows []Row
+				last := time.Duration(0)
+				for _, cp := range checkpoints {
+					if cp > span {
+						cp = span
+					}
+					if cp > last {
+						c.Run(cp - last)
+						last = cp
+					}
+					av := c.Metrics.Availability(sim.Duration(cp), time.Second)
+					rows = append(rows, row(
+						fmt.Sprintf("%s_t%ds", v.name, int(cp.Seconds())),
+						"availability_pct", av*100,
+					))
+				}
+				return rows
+			},
 		})
-		c.Start()
-		last := time.Duration(0)
-		for _, cp := range checkpoints {
-			if cp > span {
-				cp = span
-			}
-			if cp > last {
-				c.Run(cp - last)
-				last = cp
-			}
-			av := c.Metrics.Availability(sim.Duration(cp), time.Second)
-			res.Rows = append(res.Rows, row(
-				fmt.Sprintf("%s_t%ds", v.name, int(cp.Seconds())),
-				"availability_pct", av*100,
-			))
-		}
 	}
-	return res
+	return g.Run()
 }
 
 // --- E0 / Figure 4c ---------------------------------------------------------------

@@ -68,6 +68,7 @@ func TestFig12DeterministicShape(t *testing.T) {
 // TestSplitVoteRandomizationEffect (Fig. 8's core claim, small scale):
 // randomized timeouts suppress split votes relative to identical timeouts.
 func TestSplitVoteRandomizationEffect(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}

@@ -10,6 +10,7 @@ import (
 // concentrating on one — and with Byzantine campaigners, correct servers
 // still collectively hold leadership most of the time once penalties bite.
 func TestLeadershipFairness(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}

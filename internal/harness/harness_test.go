@@ -22,6 +22,7 @@ func run(t *testing.T, opts Options, d time.Duration) *Cluster {
 // TestNormalOperationCommits: a 4-server cluster under client load commits
 // transactions and every correct replica converges to the same chain.
 func TestNormalOperationCommits(t *testing.T) {
+	t.Parallel()
 	c := run(t, Options{
 		N: 4, Clients: 8, BatchSize: 8, Seed: 42,
 		VerifySignatures: true,
@@ -62,6 +63,7 @@ func TestNormalOperationCommits(t *testing.T) {
 // TestLeaderCrashRecovers: crashing the leader triggers a complaint-driven
 // view change and the cluster resumes committing (Theorem 2, liveness).
 func TestLeaderCrashRecovers(t *testing.T) {
+	t.Parallel()
 	c := NewCluster(Options{
 		N: 4, Clients: 4, BatchSize: 4, Seed: 7,
 		VerifySignatures: true,
@@ -95,6 +97,7 @@ func TestLeaderCrashRecovers(t *testing.T) {
 // crashes: no two correct replicas commit different blocks at the same
 // sequence number.
 func TestSafetyNoConflictingCommits(t *testing.T) {
+	t.Parallel()
 	c := NewCluster(Options{
 		N: 4, Clients: 6, BatchSize: 4, Seed: 99,
 		VerifySignatures: true,
@@ -143,6 +146,7 @@ func TestSafetyNoConflictingCommits(t *testing.T) {
 // leader do not stop progress and cause no view changes (Fig. 9's
 // PrestigeBFT result).
 func TestQuietParticipantsUnaffected(t *testing.T) {
+	t.Parallel()
 	c := run(t, Options{
 		N: 4, Clients: 8, BatchSize: 8, Seed: 21,
 		VerifySignatures: true,
@@ -159,6 +163,7 @@ func TestQuietParticipantsUnaffected(t *testing.T) {
 // TestEquivocatingParticipantsUnaffected: f equivocating servers (F3) under
 // a correct leader cannot stop progress.
 func TestEquivocatingParticipantsUnaffected(t *testing.T) {
+	t.Parallel()
 	c := run(t, Options{
 		N: 4, Clients: 8, BatchSize: 8, Seed: 22,
 		VerifySignatures: true,
@@ -176,6 +181,7 @@ func TestEquivocatingParticipantsUnaffected(t *testing.T) {
 // among correct servers; the active protocol picks up-to-date leaders and
 // replication continues.
 func TestPolicyRotationElectsNewLeaders(t *testing.T) {
+	t.Parallel()
 	c := run(t, Options{
 		N: 4, Clients: 6, BatchSize: 6, Seed: 5,
 		VerifySignatures: true,
@@ -200,6 +206,7 @@ func TestPolicyRotationElectsNewLeaders(t *testing.T) {
 // TestDeterministicReplay: identical options and seed produce identical
 // metrics — the foundation for reproducible experiments.
 func TestDeterministicReplay(t *testing.T) {
+	t.Parallel()
 	opts := Options{N: 4, Clients: 5, BatchSize: 5, Seed: 1234, VerifySignatures: true}
 	a := run(t, opts, 2*time.Second)
 	b := run(t, opts, 2*time.Second)
@@ -208,6 +215,42 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	if len(a.Metrics.Commits) != len(b.Metrics.Commits) {
 		t.Fatalf("nondeterministic commit counts")
+	}
+	for i := range a.Metrics.Commits {
+		if a.Metrics.Commits[i] != b.Metrics.Commits[i] {
+			t.Fatalf("commit %d differs: %+v vs %+v", i, a.Metrics.Commits[i], b.Metrics.Commits[i])
+		}
+	}
+}
+
+// TestDeterministicReplayUnderFaults extends the replay guarantee to the
+// fault-heavy regime: repeated view changes exercise the complaint-backlog
+// and timer-rearm paths, which historically leaked Go's randomized map
+// iteration order into batch contents and RNG consumption (making paper
+// figures unreproducible across runs).
+func TestDeterministicReplayUnderFaults(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	opts := Options{
+		N: 4, Clients: 12, BatchSize: 12, Seed: 4242,
+		ClientThinkTime: 4 * time.Millisecond,
+		ViewPolicy:      2 * time.Second,
+		TimeoutMin:      200 * time.Millisecond, TimeoutMax: 400 * time.Millisecond,
+		ClientTimeout: time.Second,
+		Faults: map[types.ServerID]faults.Spec{
+			4: {Mode: faults.Quiet, RepeatedVC: true},
+		},
+	}
+	a := run(t, opts, 10*time.Second)
+	b := run(t, opts, 10*time.Second)
+	if a.Metrics.TotalTxs == 0 {
+		t.Fatal("no progress under faults")
+	}
+	if a.Metrics.TotalTxs != b.Metrics.TotalTxs || a.Metrics.Elections != b.Metrics.Elections {
+		t.Fatalf("nondeterministic under faults: %d/%d txs, %d/%d elections",
+			a.Metrics.TotalTxs, b.Metrics.TotalTxs, a.Metrics.Elections, b.Metrics.Elections)
 	}
 	for i := range a.Metrics.Commits {
 		if a.Metrics.Commits[i] != b.Metrics.Commits[i] {

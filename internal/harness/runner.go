@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file is the declarative, parallel experiment engine behind every
+// figure runner. A figure is a Grid of ExperimentSpecs; each spec is one
+// independent simulation cell that builds its own Cluster (own
+// sim.Scheduler, own seeded RNG), so cells are deterministic in isolation
+// and safe to execute concurrently. Grid.Run fans the specs out over a
+// worker pool and reassembles the rows in spec order, making the Result
+// byte-identical no matter how many workers ran it or in which order the
+// cells finished.
+
+// Workers is the package-default worker-pool size for Grid.Run when a Grid
+// does not set its own. Zero means runtime.NumCPU(). The bench CLI exposes
+// it as -workers; set it to 1 to reproduce the strictly sequential order of
+// execution (results are identical either way).
+var Workers int
+
+// ExperimentSpec is one independent cell of a figure grid: a cluster
+// configuration plus a measurement window. The zero Measure runs the
+// standard steady-state measurement (warmup, then span) and emits one
+// tps/latency row labeled Label.
+type ExperimentSpec struct {
+	Label  string
+	Opts   Options
+	Warmup time.Duration
+	Span   time.Duration
+
+	// Measure overrides the default measurement for cells whose metric is
+	// not plain tps/latency (split-vote probability, timelines, reputation
+	// series, ...). It must be self-contained: build any clusters it needs
+	// from the spec and return the rows this cell contributes, in order.
+	Measure func(s *ExperimentSpec) []Row
+}
+
+// run executes the cell and returns its rows.
+func (s *ExperimentSpec) run() []Row {
+	if s.Measure != nil {
+		return s.Measure(s)
+	}
+	tps, lat, _ := measure(s.Opts, s.Warmup, s.Span)
+	return []Row{row(s.Label, "tps", tps, "latency_ms", lat)}
+}
+
+// Grid is an ordered set of experiment cells rendered as one Result.
+type Grid struct {
+	Name  string
+	Notes string
+	Specs []ExperimentSpec
+
+	// Workers bounds this grid's pool; zero defers to the package default.
+	Workers int
+
+	// Finalize post-processes the ordered row set after every cell has run —
+	// cross-cell work like best-point extraction (peak table) or
+	// normalization against a baseline cell (Figure 11).
+	Finalize func(rows []Row) []Row
+}
+
+// Run executes every spec on a worker pool and returns the assembled Result.
+// Rows appear in spec order regardless of completion order; running with 1
+// worker or N yields identical results.
+func (g *Grid) Run() *Result {
+	workers := g.Workers
+	if workers == 0 {
+		workers = Workers
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(g.Specs) {
+		workers = len(g.Specs)
+	}
+
+	perSpec := make([][]Row, len(g.Specs))
+	if workers <= 1 {
+		for i := range g.Specs {
+			perSpec[i] = g.Specs[i].run()
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					perSpec[i] = g.Specs[i].run()
+				}
+			}()
+		}
+		for i := range g.Specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	res := &Result{Name: g.Name, Notes: g.Notes}
+	for _, rows := range perSpec {
+		res.Rows = append(res.Rows, rows...)
+	}
+	if g.Finalize != nil {
+		res.Rows = g.Finalize(res.Rows)
+	}
+	return res
+}
+
+// JSON serializes the result for machine consumption (the BENCH_*.json perf
+// trajectory). Output is deterministic: rows keep spec order and
+// encoding/json sorts the value maps, so byte equality implies value
+// equality across runs and worker counts.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCancelRemovesFromHeap: canceling a timer removes its event from the
+// heap immediately, so Pending stays accurate and long simulations that
+// constantly reset timeouts don't accumulate tombstones.
+func TestCancelRemovesFromHeap(t *testing.T) {
+	s := NewScheduler(1)
+	const n = 100
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if got := s.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i += 2 {
+		timers[i].Cancel()
+	}
+	if got := s.Pending(); got != n/2 {
+		t.Fatalf("Pending after canceling half = %d, want %d", got, n/2)
+	}
+	// Double-cancel is a no-op.
+	timers[0].Cancel()
+	timers[2].Cancel()
+	if got := s.Pending(); got != n/2 {
+		t.Fatalf("Pending after double-cancel = %d, want %d", got, n/2)
+	}
+}
+
+// TestCancelPreservesOrderAndFiring: removing events from the middle of the
+// heap must not disturb the (time, FIFO) execution order of the survivors,
+// and canceled events must never fire.
+func TestCancelPreservesOrderAndFiring(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []int
+	timers := make([]*Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		timers = append(timers, s.After(time.Duration(10-i)*time.Millisecond, func() {
+			fired = append(fired, i)
+		}))
+	}
+	// Cancel the ones scheduled at 10,8,6,4,2 ms (indices 0,2,4,6,8).
+	for i := 0; i < 10; i += 2 {
+		timers[i].Cancel()
+	}
+	s.RunUntil(Duration(20 * time.Millisecond))
+	// Survivors i=1,3,5,7,9 fire at 9,7,5,3,1 ms: reverse index order.
+	want := []int{9, 7, 5, 3, 1}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for k := range want {
+		if fired[k] != want[k] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", s.Pending())
+	}
+	// Canceling an already-fired timer is a no-op.
+	timers[1].Cancel()
+	if s.Pending() != 0 {
+		t.Fatalf("cancel-after-fire corrupted the heap: Pending = %d", s.Pending())
+	}
+}
+
+// TestCancelInsideCallback: a callback canceling other pending timers (the
+// dominant pattern in consensus timeout management) takes effect before
+// those timers fire.
+func TestCancelInsideCallback(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	var later *Timer
+	s.After(time.Millisecond, func() {
+		later.Cancel()
+	})
+	later = s.After(2*time.Millisecond, func() { fired++ })
+	s.RunUntil(Duration(10 * time.Millisecond))
+	if fired != 0 {
+		t.Fatal("timer canceled from a callback still fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}

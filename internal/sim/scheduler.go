@@ -33,8 +33,11 @@ type event struct {
 	seq uint64 // tie-break: FIFO among equal timestamps
 	fn  func()
 
-	canceled bool
-	index    int
+	// index is the event's position in the heap, maintained by Swap/Push and
+	// set to -1 once the event leaves the heap (fired or canceled). It is
+	// what lets Cancel remove the event eagerly instead of leaving a tombstone
+	// until the fire time.
+	index int
 }
 
 // eventHeap orders events by (at, seq).
@@ -62,18 +65,29 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }
 
 // Timer is a cancelable handle for a scheduled event.
-type Timer struct{ ev *event }
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled timer is a no-op.
+// Cancel removes the event from the scheduler's heap so it neither fires nor
+// occupies memory until its fire time (long simulations reset timeouts
+// constantly; tombstones would accumulate and inflate Pending). Canceling an
+// already-fired or already-canceled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+	if t == nil || t.ev == nil {
+		return
+	}
+	e := t.ev
+	t.ev = nil
+	if e.index >= 0 {
+		heap.Remove(&t.s.events, e.index)
 	}
 }
 
@@ -109,7 +123,7 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	s.seq++
 	e := &event{at: t, seq: s.seq, fn: fn}
 	heap.Push(&s.events, e)
-	return &Timer{ev: e}
+	return &Timer{s: s, ev: e}
 }
 
 // After schedules fn d after the current time.
@@ -119,17 +133,14 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 
 // Step executes the next event. It returns false when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.canceled {
-			continue
-		}
-		s.now = e.at
-		s.Processed++
-		e.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.Processed++
+	e.fn()
+	return true
 }
 
 // RunUntil executes events until virtual time exceeds limit or the event
@@ -149,5 +160,6 @@ func (s *Scheduler) RunUntil(limit Time) {
 // RunFor executes events for a span of virtual time from now.
 func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + Time(d)) }
 
-// Pending returns the number of queued (possibly canceled) events.
+// Pending returns the number of queued events. Canceled events are removed
+// from the heap eagerly, so they never count.
 func (s *Scheduler) Pending() int { return len(s.events) }

@@ -9,6 +9,7 @@
 package types
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -46,6 +47,20 @@ func (d Digest) IsZero() bool { return d == Digest{} }
 
 // HashBytes returns the SHA-256 digest of b.
 func HashBytes(b []byte) Digest { return sha256.Sum256(b) }
+
+// SortedDigestKeys returns m's keys in ascending byte order. Protocol code
+// must use it (or an equivalent fixed order) whenever iterating a
+// digest-keyed map produces effects — Go's randomized map order would
+// otherwise leak into transaction ordering and RNG consumption, breaking
+// reproducible simulation.
+func SortedDigestKeys[V any](m map[Digest]V) []Digest {
+	ds := make([]Digest, 0, len(m))
+	for d := range m {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+	return ds
+}
 
 // Transaction is an opaque client request payload plus its provenance.
 // The consensus layer treats Data as opaque; applications interpret it

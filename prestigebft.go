@@ -148,7 +148,7 @@ func EncodeKVDel(key string) []byte {
 }
 
 // Experiment runs a named paper experiment (fig4c, fig6..fig14, peak) at
-// quick scale and returns its rendered result. See EXPERIMENTS.md.
+// quick scale and returns its rendered result. See DESIGN.md §5.
 func Experiment(name string, full bool) (string, bool) {
 	runner, ok := harness.Experiments[name]
 	if !ok {
