@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-json clean
+.PHONY: build test vet bench bench-json scenarios clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ bench:
 # Machine-readable figure results for the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/prestige-bench -experiment all -json bench.json
+
+# Chaos-scenario suite; exits nonzero if any invariant is violated.
+scenarios:
+	$(GO) run ./cmd/prestige-bench -scenario all
 
 clean:
 	rm -f bench.json

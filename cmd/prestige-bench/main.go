@@ -6,14 +6,21 @@
 //	prestige-bench -experiment fig9            # one figure, quick scale
 //	prestige-bench -experiment all -full       # everything at paper scale
 //	prestige-bench -experiment all -json o.json  # also write machine-readable results
+//	prestige-bench -scenario all               # the chaos-scenario suite
+//	prestige-bench -scenario majority-partition,flaky-network
 //	prestige-bench -workers 1                  # force sequential execution
-//	prestige-bench -list                       # enumerate experiments
+//	prestige-bench -list                       # enumerate experiments and scenarios
 //
 // Results print as text tables; with -json they are also written as a JSON
 // document (one object per experiment) for the perf trajectory. Figure grids
 // run their independent simulation cells on a worker pool (-workers, default
 // one per CPU); results are deterministic and identical for any worker
 // count. DESIGN.md §5 maps each experiment to the paper's figure.
+//
+// -scenario runs chaos scenarios (internal/scenario) instead of figures:
+// per-scenario invariant verdicts print to stderr and the process exits
+// nonzero if any invariant was violated, which is what lets CI use the suite
+// as a regression gate. DESIGN.md §7 documents the scenario engine.
 package main
 
 import (
@@ -22,9 +29,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"prestigebft/internal/harness"
+	"prestigebft/internal/scenario"
 
 	_ "prestigebft/internal/baseline/hotstuff"
 	_ "prestigebft/internal/baseline/prosecutor"
@@ -38,9 +47,10 @@ type benchOutput struct {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (fig4c, fig6..fig14, peak, all)")
+	experiment := flag.String("experiment", "all", "experiment to run (fig4c, fig6..fig14, peak, scenarios, all)")
+	scenarios := flag.String("scenario", "", "run chaos scenarios instead: a comma-separated list of names, or 'all'")
 	full := flag.Bool("full", false, "run at paper scale (minutes of wall clock per figure)")
-	list := flag.Bool("list", false, "list available experiments")
+	list := flag.Bool("list", false, "list available experiments and scenarios")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	workers := flag.Int("workers", 0, "worker-pool size for experiment grids (0 = one per CPU)")
 	flag.Parse()
@@ -54,9 +64,19 @@ func main() {
 	sort.Strings(names)
 
 	if *list {
+		fmt.Println("experiments:")
 		for _, n := range names {
-			fmt.Println(n)
+			fmt.Printf("  %s\n", n)
 		}
+		fmt.Println("scenarios (-scenario):")
+		for _, n := range scenario.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	if *scenarios != "" {
+		runScenarios(*scenarios, *jsonPath)
 		return
 	}
 
@@ -83,23 +103,72 @@ func main() {
 
 	if *experiment == "all" {
 		for _, n := range names {
+			// The chaos suite is excluded from "all": it emits invariant
+			// verdicts, not perf rows, and only the -scenario path enforces
+			// them through the exit code. Run it explicitly via -scenario
+			// (gating) or -experiment scenarios (report only).
+			if n == "scenarios" {
+				continue
+			}
 			run(n)
 		}
 	} else {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" {
-		data, err := json.MarshalIndent(&out, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
-			os.Exit(1)
+	writeJSON(*jsonPath, &out)
+}
+
+// runScenarios executes the chaos suite (or a named subset) and exits
+// nonzero if any invariant was violated — the CI regression gate.
+func runScenarios(spec, jsonPath string) {
+	var names []string
+	if spec != "all" {
+		for _, n := range strings.Split(spec, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d experiment results to %s\n", len(out.Results), *jsonPath)
 	}
+	g, reports, err := scenario.SuiteOf(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	res := g.Run()
+	fmt.Println(res)
+	fmt.Printf("[%d scenarios completed in %v]\n\n", len(reports), time.Since(start).Round(time.Millisecond))
+
+	writeJSON(jsonPath, &benchOutput{Scale: "scenario", Results: []*harness.Result{res}})
+
+	failed := 0
+	for _, rep := range reports {
+		fmt.Fprintln(os.Stderr, rep)
+		if !rep.OK() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d of %d scenarios violated invariants\n", failed, len(reports))
+		os.Exit(1)
+	}
+}
+
+// writeJSON writes the machine-readable result document when a path is set.
+func writeJSON(path string, out *benchOutput) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d experiment results to %s\n", len(out.Results), path)
 }

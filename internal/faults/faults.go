@@ -42,6 +42,19 @@ const (
 	Equivocate
 )
 
+// String names the mode for scenario descriptions and logs.
+func (m Mode) String() string {
+	switch m {
+	case Correct:
+		return "correct"
+	case Quiet:
+		return "quiet"
+	case Equivocate:
+		return "equivocate"
+	}
+	return "unknown"
+}
+
 // Spec describes one faulty server.
 type Spec struct {
 	Mode Mode
@@ -59,6 +72,22 @@ type Spec struct {
 
 // IsFaulty reports whether the spec describes any misbehavior.
 func (s Spec) IsFaulty() bool { return s.Mode != Correct || s.RepeatedVC }
+
+// String renders the spec in the paper's fault taxonomy (F2/F3/F4, S1/S2).
+func (s Spec) String() string {
+	if !s.IsFaulty() {
+		return "correct"
+	}
+	out := s.Mode.String()
+	if s.RepeatedVC {
+		strategy := "S1"
+		if s.Smart {
+			strategy = "S2"
+		}
+		out += "+repeatedVC(" + strategy + ")"
+	}
+	return out
+}
 
 // Wrapper decorates a replica with Byzantine behavior.
 type Wrapper struct {

@@ -81,6 +81,11 @@ type Options struct {
 
 	// Faults assigns Byzantine behavior per server.
 	Faults map[types.ServerID]faults.Spec
+	// WrapServers forces a faults.Wrapper onto these servers even when their
+	// Spec is zero (correct). A correct-spec wrapper is a pure pass-through;
+	// it exists so chaos scenarios can swap misbehavior in and out at
+	// runtime via Wrapper.SetSpec (the paper's dynamic fault set).
+	WrapServers []types.ServerID
 	// TimeoutAttack enables F1: each faulty server draws its timeouts from
 	// an RNG seeded identically to a randomly chosen correct server's.
 	TimeoutAttack bool
@@ -265,7 +270,13 @@ func NewCluster(opts Options) *Cluster {
 			replica = f(FactoryEnv{ID: id, N: o.N, Keys: serverKeys[id], Registry: reg, Opts: &o, RNG: nodeRNG})
 		}
 		c.Nodes[i-1] = node
-		if spec.IsFaulty() {
+		wrap := spec.IsFaulty()
+		for _, w := range o.WrapServers {
+			if w == id {
+				wrap = true
+			}
+		}
+		if wrap {
 			w := faults.Wrap(replica, node, spec)
 			c.Wrappers[i-1] = w
 			replica = w

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"fmt"
+
+	"prestigebft/internal/faults"
+	"prestigebft/internal/harness"
+	"prestigebft/internal/sim"
+	"prestigebft/internal/types"
+)
+
+// Action is one environmental injection. Actions mutate the fabric or the
+// fault wrappers, never protocol internals — a scenario only does what a
+// real operator's misfortune (or a real attacker) could.
+type Action interface {
+	fmt.Stringer
+	apply(rt *runtime)
+}
+
+// runtime tracks the desired environmental state of a running scenario.
+// Crashes and partitions both express themselves as link cuts on the same
+// sim.Network cut set, so instead of toggling individual links (where a heal
+// could accidentally un-crash a server that the partition also covered) it
+// recomputes every cut from the declared state after each change.
+type runtime struct {
+	c *harness.Cluster
+	// base is the fabric profile at start; Restore returns to it.
+	base sim.NetworkConfig
+
+	crashed map[types.ServerID]bool
+	// group assigns each server a partition group; nil means no partition.
+	group map[types.ServerID]int
+}
+
+func newRuntime(c *harness.Cluster) *runtime {
+	return &runtime{c: c, base: c.Net.Config(), crashed: make(map[types.ServerID]bool)}
+}
+
+// applyCuts recomputes the whole cut set: a server↔server link is severed
+// iff either side is crashed or the sides sit in different partition groups;
+// a client↔server link is severed iff the server is crashed (partitions
+// model the server-side fabric — clients keep reaching every region).
+func (rt *runtime) applyCuts() {
+	n := rt.c.Opts.N
+	for i := 1; i <= n; i++ {
+		a := types.ServerID(i)
+		for j := i + 1; j <= n; j++ {
+			b := types.ServerID(j)
+			cut := rt.crashed[a] || rt.crashed[b]
+			if !cut && rt.group != nil && rt.group[a] != rt.group[b] {
+				cut = true
+			}
+			rt.c.Net.SetCut(sim.ServerAddr(uint16(a)), sim.ServerAddr(uint16(b)), cut)
+			rt.c.Net.SetCut(sim.ServerAddr(uint16(b)), sim.ServerAddr(uint16(a)), cut)
+		}
+		for cl := 1; cl <= rt.c.Opts.Clients; cl++ {
+			rt.c.Net.SetCut(sim.ServerAddr(uint16(a)), sim.ClientAddr(uint32(cl)), rt.crashed[a])
+			rt.c.Net.SetCut(sim.ClientAddr(uint32(cl)), sim.ServerAddr(uint16(a)), rt.crashed[a])
+		}
+	}
+}
+
+// Crash severs all of a server's links (benign fail-stop).
+type Crash struct{ Server types.ServerID }
+
+func (a Crash) String() string { return fmt.Sprintf("crash(S%d)", a.Server) }
+func (a Crash) apply(rt *runtime) {
+	rt.crashed[a.Server] = true
+	rt.applyCuts()
+}
+
+// Recover reconnects a crashed server. The server kept its local state and
+// timers while dark (fail-recover, not amnesia); it rejoins via the normal
+// catch-up path.
+type Recover struct{ Server types.ServerID }
+
+func (a Recover) String() string { return fmt.Sprintf("recover(S%d)", a.Server) }
+func (a Recover) apply(rt *runtime) {
+	delete(rt.crashed, a.Server)
+	rt.applyCuts()
+}
+
+// Partition splits the server plane: servers in different groups cannot
+// talk. Servers not listed in any group form one implicit group together.
+// A later Partition replaces the current one; Heal removes it.
+type Partition struct{ Groups [][]types.ServerID }
+
+func (a Partition) String() string {
+	out := "partition("
+	for i, g := range a.Groups {
+		if i > 0 {
+			out += "|"
+		}
+		for j, id := range sortedIDs(g) {
+			if j > 0 {
+				out += ","
+			}
+			out += fmt.Sprintf("S%d", id)
+		}
+	}
+	return out + ")"
+}
+
+func (a Partition) apply(rt *runtime) {
+	rt.group = make(map[types.ServerID]int)
+	for gi, g := range a.Groups {
+		for _, id := range g {
+			rt.group[id] = gi + 1 // 0 is the implicit remainder group
+		}
+	}
+	rt.applyCuts()
+}
+
+// Heal removes the current partition. Crashed servers stay crashed.
+type Heal struct{}
+
+func (Heal) String() string { return "heal" }
+func (Heal) apply(rt *runtime) {
+	rt.group = nil
+	rt.applyCuts()
+}
+
+// SetFault swaps a server's Byzantine behavior at runtime (the paper's
+// dynamic fault set: membership of the faulty set may change while
+// |faulty| ≤ f holds). The server must be wrapped (harness
+// Options.WrapServers or a faulty initial Spec).
+type SetFault struct {
+	Server types.ServerID
+	Spec   faults.Spec
+}
+
+func (a SetFault) String() string { return fmt.Sprintf("setFault(S%d,%s)", a.Server, a.Spec) }
+func (a SetFault) apply(rt *runtime) {
+	if w := rt.c.Wrappers[a.Server-1]; w != nil {
+		w.SetSpec(a.Spec)
+	}
+}
+
+// Degrade reshapes the whole fabric: a gray failure where links stay up but
+// turn slow and lossy. A nil Latency keeps the current model.
+type Degrade struct {
+	Latency  sim.LatencyModel
+	DropRate float64
+}
+
+func (a Degrade) String() string { return fmt.Sprintf("degrade(drop=%.0f%%)", a.DropRate*100) }
+func (a Degrade) apply(rt *runtime) {
+	rt.c.Net.SetLatency(a.Latency)
+	rt.c.Net.SetDropRate(a.DropRate)
+}
+
+// Restore returns the fabric to the scenario's base profile (undoes Degrade).
+type Restore struct{}
+
+func (Restore) String() string { return "restore" }
+func (Restore) apply(rt *runtime) {
+	rt.c.Net.SetLatency(rt.base.Latency)
+	rt.c.Net.SetDropRate(rt.base.DropRate)
+	rt.c.Net.SetBandwidth(rt.base.Bandwidth)
+}

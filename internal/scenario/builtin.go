@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"prestigebft/internal/faults"
+	"prestigebft/internal/harness"
+	"prestigebft/internal/sim"
+	"prestigebft/internal/types"
+)
+
+// smallCluster is the shared shape of the built-in library: a light client
+// load so every scenario stays cheap enough for CI while still committing
+// continuously (the liveness invariants need a visible throughput signal).
+func smallCluster(n int, seed int64) harness.Options {
+	return harness.Options{
+		N: n, Clients: 8, BatchSize: 8, Seed: seed,
+		ClientTimeout: 500 * time.Millisecond,
+	}
+}
+
+// Builtin returns the built-in scenario library in its canonical order. The
+// slice is rebuilt per call, so callers may mutate their copy.
+func Builtin() []*Scenario {
+	return []*Scenario{
+		{
+			Name:        "leader-crash-midview",
+			Description: "the initial leader fail-stops mid-view; clients complain, a follower is elected, the old leader rejoins as a follower",
+			Opts:        smallCluster(4, 201),
+			Span:        20 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Crash{Server: 1}},
+				{At: 10 * time.Second, Action: Recover{Server: 1}},
+			},
+			Invariants: Invariants{
+				RecoverWithin:     8 * time.Second,
+				RequireViewChange: true,
+			},
+		},
+		{
+			Name:        "rolling-crashes",
+			Description: "followers fail-stop and recover one after another, never exceeding f=1 simultaneously; the leader keeps committing throughout",
+			Opts:        smallCluster(4, 202),
+			Span:        20 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Crash{Server: 2}},
+				{At: 5 * time.Second, Action: Recover{Server: 2}},
+				{At: 5500 * time.Millisecond, Action: Crash{Server: 3}},
+				{At: 8500 * time.Millisecond, Action: Recover{Server: 3}},
+				{At: 9 * time.Second, Action: Crash{Server: 4}},
+				{At: 12 * time.Second, Action: Recover{Server: 4}},
+			},
+			Invariants: Invariants{RecoverWithin: 7 * time.Second},
+		},
+		{
+			Name:        "minority-partition",
+			Description: "a minority of f=2 servers is partitioned away from the quorum side and later healed; the majority keeps committing",
+			Opts:        smallCluster(7, 203),
+			Span:        18 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Partition{Groups: [][]types.ServerID{{6, 7}}}},
+				{At: 8 * time.Second, Action: Heal{}},
+			},
+			Invariants: Invariants{RecoverWithin: 6 * time.Second},
+		},
+		{
+			Name:        "majority-partition",
+			Description: "the cluster splits 2|2 with no quorum on either side; commits stall completely until the partition heals",
+			Opts:        smallCluster(4, 204),
+			Span:        25 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Partition{Groups: [][]types.ServerID{{1, 2}}}},
+				{At: 8 * time.Second, Action: Heal{}},
+			},
+			Invariants: Invariants{
+				RecoverWithin: 12 * time.Second,
+				StallFrom:     2500 * time.Millisecond,
+				StallTo:       8 * time.Second,
+			},
+		},
+		{
+			Name:        "partition-straddling-viewchange",
+			Description: "the leader crashes, and while the resulting view change is in flight a partition removes quorum; the election can only finish after the heal",
+			Opts:        smallCluster(4, 205),
+			Span:        25 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Crash{Server: 1}},
+				{At: 2800 * time.Millisecond, Action: Partition{Groups: [][]types.ServerID{{3}}}},
+				{At: 8 * time.Second, Action: Heal{}},
+				{At: 10 * time.Second, Action: Recover{Server: 1}},
+			},
+			Invariants: Invariants{
+				RecoverWithin:     12 * time.Second,
+				RequireViewChange: true,
+				StallFrom:         3 * time.Second,
+				StallTo:           8 * time.Second,
+			},
+		},
+		{
+			Name:        "flaky-network",
+			Description: "gray failure: every link stays up but turns slow (+20±10 ms) and lossy (15% drops) for a window, then the fabric is restored",
+			Opts:        smallCluster(4, 206),
+			Span:        20 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Degrade{
+					Latency: sim.NetemLatency{
+						Base:  sim.DefaultNetworkConfig().Latency,
+						Extra: sim.NormalLatency{Mean: 20 * time.Millisecond, StdDev: 10 * time.Millisecond},
+					},
+					DropRate: 0.15,
+				}},
+				{At: 9 * time.Second, Action: Restore{}},
+			},
+			Invariants: Invariants{RecoverWithin: 8 * time.Second},
+		},
+		{
+			Name:        "late-joiner-catchup",
+			Description: "a follower goes dark early and rejoins after the chain has grown; it must catch up to the head via state transfer (§4.2.3)",
+			Opts:        smallCluster(4, 207),
+			Span:        18 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Crash{Server: 4}},
+				{At: 10 * time.Second, Action: Recover{Server: 4}},
+			},
+			Invariants: Invariants{
+				RecoverWithin: 5 * time.Second,
+				RequireSyncUp: true,
+				CatchUpServer: 4,
+			},
+		},
+		{
+			Name:        "dynamic-fault-migration",
+			Description: "the faulty set migrates at runtime (the paper's dynamic fault model): quiet (F2) and equivocating (F3) behavior moves across servers while |faulty| ≤ f always holds",
+			Opts: func() harness.Options {
+				o := smallCluster(7, 208)
+				o.WrapServers = []types.ServerID{5, 6, 7}
+				return o
+			}(),
+			Span: 20 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: SetFault{Server: 6, Spec: faults.Spec{Mode: faults.Quiet}}},
+				{At: 4 * time.Second, Action: SetFault{Server: 7, Spec: faults.Spec{Mode: faults.Equivocate}}},
+				{At: 6 * time.Second, Action: SetFault{Server: 6, Spec: faults.Spec{}}},
+				{At: 6 * time.Second, Action: SetFault{Server: 5, Spec: faults.Spec{Mode: faults.Quiet}}},
+				{At: 9 * time.Second, Action: SetFault{Server: 5, Spec: faults.Spec{}}},
+				{At: 9 * time.Second, Action: SetFault{Server: 7, Spec: faults.Spec{}}},
+			},
+			Invariants: Invariants{RecoverWithin: 8 * time.Second},
+		},
+		{
+			Name:        "wan-geo-latency",
+			Description: "a geo-distributed deployment (~40±10 ms links, 50 MB/s) loses its leader and recovers — the paper's protocol far outside its datacenter testbed",
+			Opts: func() harness.Options {
+				o := smallCluster(7, 209)
+				o.Net = sim.WANNetworkConfig()
+				o.ClientTimeout = 2 * time.Second
+				return o
+			}(),
+			Warmup: 3 * time.Second,
+			Span:   30 * time.Second,
+			Events: []Event{
+				{At: 3 * time.Second, Action: Crash{Server: 1}},
+				{At: 12 * time.Second, Action: Recover{Server: 1}},
+			},
+			Invariants: Invariants{
+				RecoverWithin:     12 * time.Second,
+				RequireViewChange: true,
+			},
+		},
+	}
+}
+
+// Names lists the built-in scenario names in canonical order.
+func Names() []string {
+	lib := Builtin()
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Get returns the built-in scenario with the given name.
+func Get(name string) (*Scenario, bool) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// SuiteOf builds a figure grid running the named scenarios (all built-ins
+// when names is empty). Each scenario is one independent grid cell, so the
+// suite parallelizes and reproduces exactly like every other experiment.
+// reports is filled in cell order during Grid.Run.
+func SuiteOf(names []string) (g *harness.Grid, reports []*Report, err error) {
+	var lib []*Scenario
+	if len(names) == 0 {
+		lib = Builtin()
+	} else {
+		for _, name := range names {
+			s, ok := Get(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown scenario %q (have: %v)", name, Names())
+			}
+			lib = append(lib, s)
+		}
+	}
+	g = &harness.Grid{
+		Name:  "Chaos scenarios",
+		Notes: "declarative fault timelines on the simulated cluster; ok=1 means every invariant (safety, steady-state, liveness/recovery) held",
+	}
+	reports = make([]*Report, len(lib))
+	for i, s := range lib {
+		i, s := i, s
+		g.Specs = append(g.Specs, harness.ExperimentSpec{
+			Label: s.Name,
+			Measure: func(*harness.ExperimentSpec) []harness.Row {
+				rep := s.Run()
+				reports[i] = rep
+				return []harness.Row{rep.Row()}
+			},
+		})
+	}
+	return g, reports, nil
+}
+
+// Suite is the whole built-in library as a grid (the "scenarios" experiment).
+func Suite() *harness.Grid {
+	g, _, _ := SuiteOf(nil)
+	return g
+}
+
+func init() {
+	// Register the suite with the figure-experiment registry so the bench
+	// CLI (and anything else driving harness.Experiments) picks it up.
+	// Scenarios have fixed shapes; Scale does not apply.
+	harness.Experiments["scenarios"] = func(harness.Scale) *harness.Result { return Suite().Run() }
+}

@@ -1,0 +1,419 @@
+// Package scenario is a declarative, deterministic chaos-scenario engine for
+// the simulated cluster. A Scenario names a cluster shape (harness.Options),
+// a timeline of environmental Events (crashes, partitions, fault-spec swaps,
+// fabric degradation), and the invariants the run must uphold (safety:
+// no conflicting commits; steady state: healthy before injection; liveness:
+// throughput recovers within a bound after the last fault heals).
+//
+// Events are injected by scheduling them on the cluster's own
+// sim.Scheduler before the simulation starts, so a scenario is one ordinary
+// discrete-event run: byte-reproducible for a given spec under any worker
+// count, exactly like the figure grids (runner.go). The built-in library
+// (builtin.go) generalizes the paper's four fixed Byzantine behaviors
+// (§6.2, F1–F4) into composable adversarial workloads; DESIGN.md §7 maps
+// each scenario back to the paper's fault model.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"prestigebft/internal/harness"
+	"prestigebft/internal/sim"
+	"prestigebft/internal/types"
+)
+
+// Invariants declares what a scenario run must uphold. Safety (no two
+// replicas commit different blocks at the same sequence number) and the
+// steady-state hypothesis (the cluster commits during the warmup window,
+// before any injection) are always checked; the rest are opt-in.
+type Invariants struct {
+	// RecoverWithin bounds the liveness recovery time: after the last event
+	// fires, windowed throughput must return to RecoveryFraction of the
+	// steady-state level within this duration. Zero skips the check.
+	RecoverWithin time.Duration
+	// RecoveryFraction is the fraction of steady-state TPS that counts as
+	// recovered. Zero means 0.3.
+	RecoveryFraction float64
+	// RequireViewChange asserts at least one election completed (scenarios
+	// that kill or degrade the leader must dethrone it).
+	RequireViewChange bool
+	// RequireSyncUp asserts the state-transfer path (§4.2.3) ran.
+	RequireSyncUp bool
+	// CatchUpServer, when nonzero, asserts that server's chain ends within
+	// CatchUpLag blocks of the highest chain (late-joiner catch-up).
+	CatchUpServer types.ServerID
+	// CatchUpLag is the allowed height gap for CatchUpServer. Zero means 2.
+	CatchUpLag types.SeqNum
+	// StallFrom/StallTo assert that NO block commits inside (StallFrom,
+	// StallTo]. Majority-partition scenarios use it: a commit while no side
+	// holds a quorum would reveal a quorum-intersection bug, the most
+	// serious safety defect a BFT protocol can have. Zero values skip it.
+	StallFrom, StallTo time.Duration
+}
+
+// Scenario is one declarative chaos workload.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Opts shapes the cluster. Scenarios relying on runtime fault swaps
+	// must list the target servers in Opts.WrapServers (or Opts.Faults).
+	Opts harness.Options
+
+	// Warmup is the steady-state window: the cluster runs undisturbed for
+	// this long and must commit transactions before the first injection.
+	// Zero means 2 s. All events must fire at or after Warmup.
+	Warmup time.Duration
+	// Span is the total virtual duration of the run. It must leave room
+	// after the last event for the recovery check.
+	Span time.Duration
+
+	// Events is the injection timeline, ordered by non-decreasing At.
+	Events []Event
+
+	Invariants Invariants
+}
+
+// Event fires one action at an absolute virtual time (measured from cluster
+// start).
+type Event struct {
+	At     time.Duration
+	Action Action
+}
+
+// recoveryWindow is the throughput-measurement window of the liveness check:
+// recovery is declared at the first window whose TPS reaches the target
+// fraction of steady state.
+const recoveryWindow = time.Second
+
+func (s *Scenario) warmup() time.Duration {
+	if s.Warmup == 0 {
+		return 2 * time.Second
+	}
+	return s.Warmup
+}
+
+func (s *Scenario) recoveryFraction() float64 {
+	if f := s.Invariants.RecoveryFraction; f > 0 {
+		return f
+	}
+	return 0.3
+}
+
+func (s *Scenario) catchUpLag() types.SeqNum {
+	if s.Invariants.CatchUpLag > 0 {
+		return s.Invariants.CatchUpLag
+	}
+	return 2
+}
+
+// lastEventAt returns the fire time of the final event (0 with no events).
+func (s *Scenario) lastEventAt() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].At
+}
+
+// Validate rejects malformed scenarios before any simulation work: events
+// out of order or outside the [Warmup, Span] window, actions referencing
+// unknown or unwrapped servers, timelines that exceed the fault bound f with
+// simultaneously crashed or Byzantine servers, and spans too short for the
+// declared recovery check.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario has no name")
+	}
+	o := s.Opts
+	n := o.N
+	if n == 0 {
+		n = 4 // harness default
+	}
+	if s.Span <= s.warmup() {
+		return fmt.Errorf("span %v must exceed warmup %v", s.Span, s.warmup())
+	}
+	wrapped := make(map[types.ServerID]bool)
+	byz := make(map[types.ServerID]bool)
+	for id, spec := range o.Faults {
+		if spec.IsFaulty() {
+			wrapped[id] = true
+			byz[id] = true
+		}
+	}
+	for _, id := range o.WrapServers {
+		wrapped[id] = true
+	}
+	valid := func(id types.ServerID) bool { return id >= 1 && int(id) <= n }
+	if countByz(byz, nil) > types.FaultBound(n) {
+		return fmt.Errorf("initial Faults lists %d Byzantine servers, exceeding f=%d", countByz(byz, nil), types.FaultBound(n))
+	}
+	if id := s.Invariants.CatchUpServer; id != 0 && !valid(id) {
+		return fmt.Errorf("CatchUpServer %d is not a server in 1..%d", id, n)
+	}
+
+	crashed := make(map[types.ServerID]bool)
+	last := time.Duration(0)
+	for i, ev := range s.Events {
+		if ev.Action == nil {
+			return fmt.Errorf("event %d has no action", i)
+		}
+		if ev.At < last {
+			return fmt.Errorf("event %d (%s at %v) fires before its predecessor at %v", i, ev.Action, ev.At, last)
+		}
+		last = ev.At
+		if ev.At < s.warmup() {
+			return fmt.Errorf("event %d (%s at %v) fires inside the warmup window (%v)", i, ev.Action, ev.At, s.warmup())
+		}
+		if ev.At > s.Span {
+			return fmt.Errorf("event %d (%s at %v) fires after the span (%v)", i, ev.Action, ev.At, s.Span)
+		}
+		switch a := ev.Action.(type) {
+		case Crash:
+			if !valid(a.Server) {
+				return fmt.Errorf("event %d crashes unknown server %d", i, a.Server)
+			}
+			crashed[a.Server] = true
+		case Recover:
+			if !crashed[a.Server] {
+				return fmt.Errorf("event %d recovers server %d which is not crashed", i, a.Server)
+			}
+			delete(crashed, a.Server)
+		case Partition:
+			seen := make(map[types.ServerID]bool)
+			for _, g := range a.Groups {
+				for _, id := range g {
+					if !valid(id) {
+						return fmt.Errorf("event %d partitions unknown server %d", i, id)
+					}
+					if seen[id] {
+						return fmt.Errorf("event %d lists server %d in two partition groups", i, id)
+					}
+					seen[id] = true
+				}
+			}
+		case Heal:
+		case SetFault:
+			if !valid(a.Server) {
+				return fmt.Errorf("event %d sets a fault on unknown server %d", i, a.Server)
+			}
+			if !wrapped[a.Server] {
+				return fmt.Errorf("event %d sets a fault on server %d, which is neither in Faults nor WrapServers", i, a.Server)
+			}
+			if a.Spec.RepeatedVC {
+				// The F4 levers (aggressive campaign timeouts, the S2 gate)
+				// are wired at cluster construction; a runtime swap would
+				// only change message filtering and leave an inert attacker
+				// that reports the attack ran. Same restriction as F1.
+				return fmt.Errorf("event %d swaps in RepeatedVC at runtime; F4 is construction-time — declare the attacker in Opts.Faults", i)
+			}
+			if a.Spec.IsFaulty() {
+				byz[a.Server] = true
+			} else {
+				delete(byz, a.Server)
+			}
+		case Degrade:
+			if a.DropRate < 0 || a.DropRate >= 1 {
+				return fmt.Errorf("event %d drop rate %v outside [0,1)", i, a.DropRate)
+			}
+		case Restore:
+		default:
+			return fmt.Errorf("event %d has unknown action type %T", i, ev.Action)
+		}
+		// Crashes and Byzantine servers together must respect the fault
+		// bound — beyond f the protocol guarantees nothing, so a scenario
+		// exceeding it would assert invariants the paper never claims.
+		// (Partitions are exempt: they model the network, not servers, and
+		// are expected to stall liveness until healed.)
+		if len(crashed)+countByz(byz, crashed) > types.FaultBound(n) {
+			return fmt.Errorf("after event %d (%s): %d crashed + %d faulty servers exceed f=%d",
+				i, ev.Action, len(crashed), countByz(byz, crashed), types.FaultBound(n))
+		}
+	}
+	if w := s.Invariants.RecoverWithin; w > 0 {
+		// One extra recoveryWindow: a recovery at the very end of the bound
+		// still needs a full measurement window inside the span to be seen.
+		if need := s.lastEventAt() + w + recoveryWindow; s.Span < need {
+			return fmt.Errorf("span %v too short for recovery check: last event at %v + RecoverWithin %v + %v window needs ≥ %v",
+				s.Span, s.lastEventAt(), w, recoveryWindow, need)
+		}
+	}
+	if inv := s.Invariants; inv.StallFrom != 0 || inv.StallTo != 0 {
+		if inv.StallTo <= inv.StallFrom || inv.StallTo > s.Span {
+			return fmt.Errorf("stall window (%v, %v] must be ordered and inside the span (%v)", inv.StallFrom, inv.StallTo, s.Span)
+		}
+	}
+	return nil
+}
+
+// countByz counts Byzantine servers that are not also crashed (a crashed
+// attacker is just a crash).
+func countByz(byz, crashed map[types.ServerID]bool) int {
+	n := 0
+	for id := range byz {
+		if !crashed[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the scenario and evaluates its invariants. It never panics on
+// a malformed spec: validation errors surface as violations in the Report.
+func (s *Scenario) Run() *Report {
+	rep := &Report{Scenario: s.Name, Recovery: -1}
+	if err := s.Validate(); err != nil {
+		rep.Violations = append(rep.Violations, "invalid: "+err.Error())
+		return rep
+	}
+
+	o := s.Opts
+	if o.Seed == 0 {
+		o.Seed = seedFor(s.Name)
+	}
+	c := harness.NewCluster(o)
+	rt := newRuntime(c)
+	for _, ev := range s.Events {
+		a := ev.Action
+		c.Sched.At(sim.Duration(ev.At), func() { a.apply(rt) })
+	}
+
+	c.Start()
+	warm := s.warmup()
+	c.Run(warm)
+	rep.SteadyTPS = c.Metrics.TPS(0, sim.Duration(warm))
+	if rep.SteadyTPS == 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("steady-state: no commits during the %v warmup, refusing to inject faults into an unhealthy cluster", warm))
+		return rep
+	}
+	c.Run(s.Span - warm)
+
+	s.evaluate(c, rep)
+	return rep
+}
+
+// evaluate fills the report's metrics and checks every declared invariant.
+func (s *Scenario) evaluate(c *harness.Cluster, rep *Report) {
+	c.CollectClientStats()
+	rep.P50 = c.Metrics.LatencyPercentile(50)
+	rep.P95 = c.Metrics.LatencyPercentile(95)
+	rep.P99 = c.Metrics.LatencyPercentile(99)
+	rep.Commits = len(c.Metrics.Commits)
+	rep.TotalTxs = c.Metrics.TotalTxs
+	rep.ViewChanges = c.Metrics.ViewChangesStarted
+	rep.Elections = c.Metrics.Elections
+	rep.SyncUps = c.Metrics.SyncUps
+	rep.Msgs = c.Net.Sent
+	rep.Bytes = c.Net.Bytes
+	lastAt := s.lastEventAt()
+	rep.FinalTPS = c.Metrics.TPS(sim.Duration(lastAt), sim.Duration(s.Span))
+
+	// Safety: every pair of replicas agrees on the common prefix of their
+	// committed chains (no conflicting commits at any sequence number).
+	rep.Violations = append(rep.Violations, safetyViolations(c)...)
+
+	inv := s.Invariants
+	if inv.RecoverWithin > 0 {
+		target := s.recoveryFraction() * rep.SteadyTPS
+		const step = 250 * time.Millisecond
+		for t := lastAt; t+recoveryWindow <= s.Span; t += step {
+			if c.Metrics.TPS(sim.Duration(t), sim.Duration(t+recoveryWindow)) >= target {
+				rep.Recovery = t - lastAt
+				break
+			}
+		}
+		switch {
+		case rep.Recovery < 0:
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("liveness: throughput never recovered to %.0f%% of steady state (%.0f tps) after the last event at %v",
+					s.recoveryFraction()*100, rep.SteadyTPS, lastAt))
+		case rep.Recovery > inv.RecoverWithin:
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("liveness: recovery took %v, bound is %v", rep.Recovery, inv.RecoverWithin))
+		}
+	}
+	if inv.StallTo > inv.StallFrom {
+		if tps := c.Metrics.TPS(sim.Duration(inv.StallFrom), sim.Duration(inv.StallTo)); tps > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("stall: %.0f tps committed during (%v, %v], a window where no quorum exists — possible quorum-intersection bug",
+					tps, inv.StallFrom, inv.StallTo))
+		}
+	}
+	if inv.RequireViewChange && rep.Elections == 0 {
+		rep.Violations = append(rep.Violations, "no election completed, but the scenario requires a view change")
+	}
+	if inv.RequireSyncUp && rep.SyncUps == 0 {
+		rep.Violations = append(rep.Violations, "state transfer (SyncUp) never ran, but the scenario requires it")
+	}
+	if id := inv.CatchUpServer; id != 0 {
+		var maxH types.SeqNum
+		for _, n := range c.Nodes {
+			if n == nil {
+				continue
+			}
+			if h := n.Store().TxHeight(); h > maxH {
+				maxH = h
+			}
+		}
+		node := c.Nodes[id-1]
+		if node == nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("catch-up server %d is not a PrestigeBFT node", id))
+		} else if h := node.Store().TxHeight(); h+s.catchUpLag() < maxH {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("catch-up: server %d ended at height %d, %d behind the head (%d); allowed lag %d",
+					id, h, maxH-h, maxH, s.catchUpLag()))
+		}
+	}
+}
+
+// safetyViolations compares every replica's committed chain against replica
+// 1's over their common prefix. Agreement with a shared reference implies
+// pairwise agreement, so one pass suffices.
+func safetyViolations(c *harness.Cluster) []string {
+	var out []string
+	var ref *types.ServerID
+	for i, n := range c.Nodes {
+		if n == nil {
+			continue
+		}
+		if ref == nil {
+			id := types.ServerID(i + 1)
+			ref = &id
+			continue
+		}
+		refStore := c.Nodes[*ref-1].Store()
+		h := refStore.TxHeight()
+		if nh := n.Store().TxHeight(); nh < h {
+			h = nh
+		}
+		for seq := types.SeqNum(1); seq <= h; seq++ {
+			if n.Store().TxBlock(seq).Hash() != refStore.TxBlock(seq).Hash() {
+				out = append(out, fmt.Sprintf("safety: servers %d and %d committed conflicting blocks at seq %d", *ref, n.ID(), seq))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// seedFor derives a deterministic per-scenario seed from the name (FNV-1a),
+// so unnamed-seed scenarios still replay identically.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := int64(h.Sum64() & 0x7fffffffffff)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// sortedIDs renders a server set compactly for descriptions.
+func sortedIDs(ids []types.ServerID) []types.ServerID {
+	out := append([]types.ServerID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

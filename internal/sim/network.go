@@ -95,6 +95,17 @@ func DefaultNetworkConfig() NetworkConfig {
 	}
 }
 
+// WANNetworkConfig models a geo-distributed deployment: ~40±10 ms one-way
+// propagation (inter-region distances) over 50 MB/s links. Chaos scenarios
+// use it to exercise the protocol far outside the paper's single-datacenter
+// profile.
+func WANNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		Latency:   NormalLatency{Mean: 40 * time.Millisecond, StdDev: 10 * time.Millisecond, Floor: 5 * time.Millisecond},
+		Bandwidth: 50 << 20,
+	}
+}
+
 // Handler consumes a delivered message at an endpoint.
 type Handler func(from Addr, payload any, size int)
 
@@ -144,6 +155,26 @@ func (n *Network) SetCut(from, to Addr, cut bool) {
 		delete(n.cut, key)
 	}
 }
+
+// SetLatency swaps the propagation model at runtime (chaos scenarios degrade
+// and restore the fabric mid-run). Messages already in flight keep their
+// sampled delays. A nil model is ignored.
+func (n *Network) SetLatency(m LatencyModel) {
+	if m != nil {
+		n.cfg.Latency = m
+	}
+}
+
+// SetDropRate changes the per-message loss probability at runtime.
+func (n *Network) SetDropRate(p float64) { n.cfg.DropRate = p }
+
+// SetBandwidth changes the per-directed-link capacity (bytes/second) at
+// runtime. Zero means unlimited.
+func (n *Network) SetBandwidth(bps float64) { n.cfg.Bandwidth = bps }
+
+// Config returns the current fabric configuration (the base profile chaos
+// scenarios restore after a degradation window).
+func (n *Network) Config() NetworkConfig { return n.cfg }
 
 // Isolate severs or restores all links to and from an endpoint.
 func (n *Network) Isolate(at Addr, isolated bool) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"prestigebft/internal/baseline/hotstuff"
 	"prestigebft/internal/types"
@@ -55,21 +56,61 @@ func init() {
 // Handler consumes inbound envelopes.
 type Handler func(env *Envelope)
 
+// Stats is a snapshot of a transport's traffic counters, mirroring
+// sim.Network's so live deployments are observable the same way simulated
+// ones are: Sent counts send attempts, Delivered inbound envelopes handed to
+// the handler, Dropped messages lost to dial or encode failures, and Bytes
+// the outbound wire bytes actually written.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
 // Transport is one process's TCP endpoint.
 type Transport struct {
 	self     Envelope // sender identity stamped on outbound envelopes
 	listener net.Listener
 	handler  Handler
 
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	bytes     atomic.Uint64
+
 	mu    sync.Mutex
 	conns map[string]*conn
 	done  chan struct{}
+}
+
+// Stats returns a consistent-enough snapshot of the traffic counters (each
+// counter is individually atomic).
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Sent:      t.sent.Load(),
+		Delivered: t.delivered.Load(),
+		Dropped:   t.dropped.Load(),
+		Bytes:     t.bytes.Load(),
+	}
 }
 
 type conn struct {
 	mu  sync.Mutex
 	enc *gob.Encoder
 	c   net.Conn
+}
+
+// countingWriter counts the bytes gob actually puts on the wire.
+type countingWriter struct {
+	w net.Conn
+	n *atomic.Uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(uint64(n))
+	return n, err
 }
 
 // NewServerTransport creates a transport that stamps outbound messages with
@@ -120,6 +161,7 @@ func (t *Transport) readLoop(c net.Conn) {
 			return
 		}
 		if t.handler != nil {
+			t.delivered.Add(1)
 			t.handler(&env)
 		}
 	}
@@ -127,17 +169,21 @@ func (t *Transport) readLoop(c net.Conn) {
 
 // Send transmits msg to the peer at addr, dialing lazily. Errors are
 // returned for observability but senders may ignore them: loss is within
-// the fault model.
+// the fault model. Every failure also increments the Dropped counter, so a
+// deployment where sends silently vanish shows up in Stats even when the
+// caller discards the error.
 func (t *Transport) Send(addr string, msg types.Message) error {
+	t.sent.Add(1)
 	t.mu.Lock()
 	cn, ok := t.conns[addr]
 	t.mu.Unlock()
 	if !ok {
 		raw, err := net.Dial("tcp", addr)
 		if err != nil {
+			t.dropped.Add(1)
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
-		cn = &conn{enc: gob.NewEncoder(raw), c: raw}
+		cn = &conn{enc: gob.NewEncoder(&countingWriter{w: raw, n: &t.bytes}), c: raw}
 		t.mu.Lock()
 		if existing, raced := t.conns[addr]; raced {
 			cn.c.Close()
@@ -153,6 +199,7 @@ func (t *Transport) Send(addr string, msg types.Message) error {
 	err := cn.enc.Encode(&env)
 	cn.mu.Unlock()
 	if err != nil {
+		t.dropped.Add(1)
 		t.mu.Lock()
 		delete(t.conns, addr)
 		t.mu.Unlock()

@@ -78,6 +78,53 @@ func TestSendToDeadPeerFails(t *testing.T) {
 	if err := cli.Send("127.0.0.1:1", &types.Ref{From: 1, Sig: []byte("s")}); err == nil {
 		t.Fatal("send to dead peer succeeded")
 	}
+	// The loss is visible in the counters even when the error is discarded.
+	st := cli.Stats()
+	if st.Sent != 1 || st.Dropped != 1 {
+		t.Fatalf("stats after dial failure = %+v, want Sent=1 Dropped=1", st)
+	}
+	if st.Bytes != 0 || st.Delivered != 0 {
+		t.Fatalf("stats after dial failure = %+v, want no bytes or deliveries", st)
+	}
+}
+
+// TestStatsAccounting: successful traffic shows up in both endpoints'
+// counters — Sent/Bytes on the sender, Delivered on the receiver — mirroring
+// sim.Network's delivery stats.
+func TestStatsAccounting(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if err := cli.Send(srv.Addr(), &types.Ref{From: 1, V: types.View(i), Sig: []byte("s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sends; i++ {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out draining")
+		}
+	}
+	cs := cli.Stats()
+	if cs.Sent != sends || cs.Dropped != 0 {
+		t.Fatalf("client stats = %+v, want Sent=%d Dropped=0", cs, sends)
+	}
+	if cs.Bytes == 0 {
+		t.Fatal("client wrote no bytes despite successful sends")
+	}
+	ss := srv.Stats()
+	if ss.Delivered != sends {
+		t.Fatalf("server stats = %+v, want Delivered=%d", ss, sends)
+	}
 }
 
 func TestConnectionReuseAndRecovery(t *testing.T) {
