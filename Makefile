@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-json scenarios clean
+# The committed bench-trajectory document for this PR sequence. CI's bench
+# job regenerates the same document and gates on >10% throughput regressions
+# against the last committed BENCH_*.json.
+BENCH_OUT ?= BENCH_PR3.json
+
+.PHONY: build test vet bench bench-json bench-json-all bench-compare scenarios clean
 
 build:
 	$(GO) build ./...
@@ -18,8 +23,19 @@ test-short:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Machine-readable figure results for the perf trajectory.
+# Regenerate the bench trajectory exactly as CI's bench job runs it:
+# fig4c + pipeline sweep + the full chaos-scenario suite, one JSON document.
+# Run this before pushing to refresh the committed $(BENCH_OUT) baseline.
 bench-json:
+	$(GO) run ./cmd/prestige-bench -ci $(BENCH_OUT)
+
+# Diff a fresh trajectory against the committed baseline without committing.
+bench-compare:
+	$(GO) run ./cmd/prestige-bench -ci /tmp/bench-ci-new.json
+	$(GO) run ./scripts -baseline-glob 'BENCH_PR*.json' -new /tmp/bench-ci-new.json
+
+# Full figure set as JSON (slow; every experiment at quick scale).
+bench-json-all:
 	$(GO) run ./cmd/prestige-bench -experiment all -json bench.json
 
 # Chaos-scenario suite; exits nonzero if any invariant is violated.

@@ -179,6 +179,22 @@ func BenchmarkFig14Availability(b *testing.B) {
 	report(b, res, "availability_pct")
 }
 
+// BenchmarkPipelineSweep regenerates the replication-window sweep
+// (DESIGN.md §8): committed-tx throughput vs window depth W, with W=1 the
+// stop-and-wait baseline.
+func BenchmarkPipelineSweep(b *testing.B) {
+	var res *harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.RunPipelineSweep(scale())
+	}
+	report(b, res, "tps")
+	for _, row := range res.Rows {
+		if v, ok := row.Values["x"]; ok {
+			b.ReportMetric(v, "speedup_w8_over_w1")
+		}
+	}
+}
+
 // BenchmarkAblationCompensation regenerates the compensation-vs-monotone
 // ablation table (A1 in DESIGN.md): attacker trajectories identical,
 // correct-server trajectories bounded only under compensation+refresh.

@@ -47,15 +47,19 @@ type benchOutput struct {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (fig4c, fig6..fig14, peak, scenarios, all)")
+	experiment := flag.String("experiment", "all", "experiment to run (fig4c, fig6..fig14, peak, pipeline, scenarios, all)")
 	scenarios := flag.String("scenario", "", "run chaos scenarios instead: a comma-separated list of names, or 'all'")
 	full := flag.Bool("full", false, "run at paper scale (minutes of wall clock per figure)")
 	list := flag.Bool("list", false, "list available experiments and scenarios")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
+	ciPath := flag.String("ci", "", "run the CI bench trajectory (fig4c + pipeline sweep + all scenarios) and write the combined JSON here; exits nonzero on any invariant violation")
 	workers := flag.Int("workers", 0, "worker-pool size for experiment grids (0 = one per CPU)")
+	depth := flag.Int("pipeline-depth", 0, "default replication window W for clusters that do not pin one (0 = core default, 8); specs with an explicit depth — the pipeline sweep, the *-mid-window scenarios — keep theirs")
+	seedOffset := flag.Int64("seed-offset", 0, "shift every scenario's RNG seed by this offset (the nightly seed sweep)")
 	flag.Parse()
 
 	harness.Workers = *workers
+	harness.DefaultPipelineDepth = *depth
 
 	names := make([]string, 0, len(harness.Experiments))
 	for n := range harness.Experiments {
@@ -75,8 +79,13 @@ func main() {
 		return
 	}
 
+	if *ciPath != "" {
+		runCI(*ciPath, *seedOffset)
+		return
+	}
+
 	if *scenarios != "" {
-		runScenarios(*scenarios, *jsonPath)
+		runScenarios(*scenarios, *jsonPath, *seedOffset)
 		return
 	}
 
@@ -121,7 +130,7 @@ func main() {
 
 // runScenarios executes the chaos suite (or a named subset) and exits
 // nonzero if any invariant was violated — the CI regression gate.
-func runScenarios(spec, jsonPath string) {
+func runScenarios(spec, jsonPath string, seedOffset int64) {
 	var names []string
 	if spec != "all" {
 		for _, n := range strings.Split(spec, ",") {
@@ -130,7 +139,7 @@ func runScenarios(spec, jsonPath string) {
 			}
 		}
 	}
-	g, reports, err := scenario.SuiteOf(names)
+	g, reports, err := scenario.SuiteSeeded(names, seedOffset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
@@ -142,6 +151,14 @@ func runScenarios(spec, jsonPath string) {
 
 	writeJSON(jsonPath, &benchOutput{Scale: "scenario", Results: []*harness.Result{res}})
 
+	if failed := reportVerdicts(reports); failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d of %d scenarios violated invariants\n", failed, len(reports))
+		os.Exit(1)
+	}
+}
+
+// reportVerdicts prints per-scenario verdicts to stderr and counts failures.
+func reportVerdicts(reports []*scenario.Report) int {
 	failed := 0
 	for _, rep := range reports {
 		fmt.Fprintln(os.Stderr, rep)
@@ -149,7 +166,31 @@ func runScenarios(spec, jsonPath string) {
 			failed++
 		}
 	}
-	if failed > 0 {
+	return failed
+}
+
+// runCI produces the bench trajectory document consumed by CI's regression
+// gate (and committed at the repo root as BENCH_PR<k>.json): the fig4c
+// reputation table, the pipeline sweep, and the full chaos-scenario suite
+// with pass/fail rows. Deterministic for any -workers value; exits nonzero
+// if any scenario invariant is violated.
+func runCI(path string, seedOffset int64) {
+	start := time.Now()
+	out := benchOutput{Scale: "ci"}
+	out.Results = append(out.Results, harness.RunFig4c())
+	out.Results = append(out.Results, harness.RunPipelineSweep(harness.Quick))
+	g, reports, err := scenario.SuiteSeeded(nil, seedOffset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	out.Results = append(out.Results, g.Run())
+	for _, res := range out.Results {
+		fmt.Println(res)
+	}
+	fmt.Printf("[ci trajectory completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	writeJSON(path, &out)
+	if failed := reportVerdicts(reports); failed > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d of %d scenarios violated invariants\n", failed, len(reports))
 		os.Exit(1)
 	}

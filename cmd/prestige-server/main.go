@@ -35,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deployment key seed (must match across processes)")
 	clients := flag.Int("clients", 64, "number of client identities in the registry")
 	batch := flag.Int("batch", 100, "batch size β")
+	depth := flag.Int("pipeline-depth", 8, "replication window W: in-flight consensus instances (1 = stop-and-wait)")
 	bits := flag.Int("puzzle-bits", 4, "proof-of-work bits per reputation penalty unit")
 	policy := flag.Duration("rotate", 0, "timing-policy view rotation period (0 = disabled)")
 	verbose := flag.Bool("v", false, "log traces")
@@ -57,6 +58,7 @@ func main() {
 		Keys:            serverKeys[sid],
 		Registry:        reg,
 		BatchSize:       *batch,
+		PipelineDepth:   *depth,
 		PuzzleBitsPerRP: *bits,
 		ViewPolicy:      *policy,
 	})

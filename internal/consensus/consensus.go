@@ -30,7 +30,8 @@ func FromClient(id types.ClientID) Origin { return Origin{Client: true, ClientID
 
 // TimerKind enumerates replica timers. Kinds are protocol-specific small
 // integers; Key disambiguates instances (e.g. per-transaction complaint
-// timers).
+// timers, or — for a pipelined replication window — one timer per in-flight
+// sequence number, so concurrent instances time out independently).
 type TimerKind uint8
 
 // Effect is an action the runtime must execute on the replica's behalf.
@@ -183,10 +184,20 @@ func MessageCostHint(msg types.Message) (nSigs, nTx int) {
 		return 0, 1
 	case *types.Ord:
 		return 1, len(m.Txs)
-	case *types.OrdReply, *types.CmtReply, *types.VoteCP, *types.ReVC, *types.VcYes, *types.Ref, *types.Notif:
+	case *types.VoteCP:
+		// Sender sig, plus one ordering_QC aggregate and per-tx digesting
+		// for every locked slot attached as view-change evidence.
+		nTx := 0
+		for i := range m.Locked {
+			nTx += len(m.Locked[i].Txs)
+		}
+		return 1 + len(m.Locked), nTx
+	case *types.OrdReply, *types.CmtReply, *types.ReVC, *types.VcYes, *types.Ref, *types.Notif:
 		return 1, 0
 	case *types.Cmt:
 		return 2, 0 // sender sig + ordering_QC aggregate
+	case *types.Adopt:
+		return 2, len(m.Block.Txs) // sender sig + ordering_QC aggregate
 	case *types.TxBlockMsg:
 		return 3, len(m.Block.Txs) // sender + both QCs
 	case *types.CampVC:

@@ -27,9 +27,27 @@ type rig struct {
 	puzzles map[types.ServerID]*consensus.StartPuzzle
 	now     time.Duration
 	commits map[types.ServerID][]types.SeqNum
+	// intercept, when set, holds matching messages instead of delivering
+	// them (pipeline tests stall chosen protocol phases this way). Held
+	// messages are delivered later via releaseHeld.
+	intercept func(from, to types.ServerID, msg types.Message) bool
+	held      []heldMsg
+	// notifs records client notifications per sending server.
+	notifs map[types.ServerID][]*types.Notif
+}
+
+type heldMsg struct {
+	from, to types.ServerID
+	msg      types.Message
 }
 
 func newRig(t *testing.T, n int) *rig {
+	return newRigDepth(t, n, 1, 0)
+}
+
+// newRigDepth builds a rig with an explicit batch size and replication
+// window depth (0 selects the core default).
+func newRigDepth(t *testing.T, n, batch, depth int) *rig {
 	reg, keys, ckeys := crypto.GenerateDeployment(33, n, 4)
 	r := &rig{
 		t: t, reg: reg, keys: keys, ckeys: ckeys,
@@ -38,12 +56,13 @@ func newRig(t *testing.T, n int) *rig {
 		timers:  make(map[types.ServerID]map[[2]uint64]time.Duration),
 		puzzles: make(map[types.ServerID]*consensus.StartPuzzle),
 		commits: make(map[types.ServerID][]types.SeqNum),
+		notifs:  make(map[types.ServerID][]*types.Notif),
 	}
 	for i := 1; i <= n; i++ {
 		id := types.ServerID(i)
 		node := New(Config{
 			ID: id, N: n, Keys: keys[id], Registry: reg,
-			BatchSize: 1, PuzzleBitsPerRP: 2,
+			BatchSize: batch, PipelineDepth: depth, PuzzleBitsPerRP: 2,
 			RNG: rand.New(rand.NewSource(int64(i))),
 		})
 		r.nodes[id] = node
@@ -78,6 +97,10 @@ func (r *rig) exec(from types.ServerID, effs []consensus.Effect) {
 			}
 		case consensus.Commit:
 			r.commits[from] = append(r.commits[from], ef.Block.Header.N)
+		case consensus.SendClient:
+			if n, ok := ef.Msg.(*types.Notif); ok {
+				r.notifs[from] = append(r.notifs[from], n)
+			}
 		}
 	}
 }
@@ -86,8 +109,25 @@ func (r *rig) deliver(from, to types.ServerID, msg types.Message) {
 	if r.down[from] || r.down[to] {
 		return
 	}
+	if r.intercept != nil && r.intercept(from, to, msg) {
+		r.held = append(r.held, heldMsg{from, to, msg})
+		return
+	}
 	node := r.nodes[to]
 	r.exec(to, node.OnMessage(r.now, consensus.FromServer(from), msg))
+}
+
+// releaseHeld delivers every held message (bypassing the interceptor) in
+// capture order and clears the buffer.
+func (r *rig) releaseHeld() {
+	held := r.held
+	r.held = nil
+	saved := r.intercept
+	r.intercept = nil
+	for _, h := range held {
+		r.deliver(h.from, h.to, h.msg)
+	}
+	r.intercept = saved
 }
 
 // solvePuzzles completes pending proof-of-work computations.

@@ -65,6 +65,17 @@ const (
 	TimerPolicy
 	// TimerBatch flushes a partially filled batch at the leader.
 	TimerBatch
+	// TimerInstance bounds one in-flight replication instance at the leader.
+	// Key: the instance's sequence number. On expiry the leader retransmits
+	// the instance's current phase message (Ord, plus Cmt once ordering_QC
+	// exists) so a window stalled by message loss can drain without waiting
+	// for a view change. Armed per sequence number because the replication
+	// window keeps up to PipelineDepth instances in flight concurrently.
+	TimerInstance
+	// TimerSync bounds one SyncUp round trip. Key: the sync token. A lost
+	// SyncReq or SyncResp would otherwise wedge the node in the syncing
+	// state forever (stashing every message, including election votes).
+	TimerSync
 )
 
 // Config parameterizes a node. Zero values select the defaults documented
@@ -88,6 +99,23 @@ type Config struct {
 	BatchSize int
 	// BatchTimeout flushes a partial batch. Default 2ms.
 	BatchTimeout time.Duration
+
+	// PipelineDepth is the replication window W: the maximum number of
+	// consensus instances the leader keeps in flight at consecutive
+	// sequence numbers. 1 reproduces the original stop-and-wait behavior
+	// (one batch per round trip); larger values pipeline the Ordering and
+	// Commit phases of successive blocks. Commits are always applied in
+	// sequence order regardless of the quorum completion order. Default 8.
+	PipelineDepth int
+	// InstanceTimeout is the per-instance retransmission period: an
+	// in-flight instance older than this has its phase messages
+	// re-broadcast (vote collection is idempotent). Default 250ms — far
+	// above a healthy commit round trip, so it only fires under loss.
+	InstanceTimeout time.Duration
+	// SyncTimeout bounds one SyncUp round trip; on expiry the node leaves
+	// the syncing state and replays its stash (typically re-triggering the
+	// sync). Default 500ms.
+	SyncTimeout time.Duration
 
 	// ConfVCTimeout bounds the wait for f+1 ReVC replies. Default 300ms.
 	ConfVCTimeout time.Duration
@@ -148,6 +176,18 @@ func (c *Config) withDefaults() Config {
 	if out.BatchTimeout == 0 {
 		out.BatchTimeout = 2 * time.Millisecond
 	}
+	if out.PipelineDepth == 0 {
+		out.PipelineDepth = 8
+	}
+	if out.PipelineDepth < 1 {
+		out.PipelineDepth = 1
+	}
+	if out.InstanceTimeout == 0 {
+		out.InstanceTimeout = 250 * time.Millisecond
+	}
+	if out.SyncTimeout == 0 {
+		out.SyncTimeout = 500 * time.Millisecond
+	}
 	if out.ConfVCTimeout == 0 {
 		out.ConfVCTimeout = 300 * time.Millisecond
 	}
@@ -167,18 +207,33 @@ func (c *Config) withDefaults() Config {
 }
 
 // replInstance is one in-flight replication consensus instance at the leader.
+// Up to Config.PipelineDepth instances at consecutive sequence numbers are
+// tracked simultaneously in Node.inflight; an instance whose commit_QC
+// completes before its predecessor's "parks" (block.CommitQC set, still in
+// the window) until the chain below it is applied.
 type replInstance struct {
 	block   *types.TxBlock
 	digest  types.Digest
-	ordColl *quorum.Collector
+	ordColl *quorum.Collector // nil for adopted instances (ordering pre-certified)
 	cmtColl *quorum.Collector
 	started time.Duration
+	// adopted marks an instance re-proposed from view-change evidence: its
+	// block already carries an ordering_QC from an earlier view and runs
+	// only the commit phase (via Adopt messages).
+	adopted bool
 }
 
+// committed reports whether the instance has assembled its commit_QC and is
+// parked awaiting in-order application.
+func (i *replInstance) committed() bool { return !i.block.CommitQC.IsZero() }
+
 // pendingProposal is a proposal stashed by a follower between Ord and commit.
+// predHash caches the block's PredictedHash so successors in the replication
+// window can verify their PrevHash chaining in O(1).
 type pendingProposal struct {
-	block  types.TxBlock
-	digest types.Digest
+	block    types.TxBlock
+	digest   types.Digest
+	predHash types.Digest
 }
 
 // Node is a PrestigeBFT server.
@@ -199,12 +254,24 @@ type Node struct {
 	// --- Replication state (leader) ---
 	pending         []types.Transaction
 	pendingByDigest map[types.Digest]bool
-	inflight        *replInstance
-	batchArmed      bool
+	// inflight is the replication window: every in-flight instance keyed by
+	// sequence number. By construction the keys are contiguous — the low
+	// watermark is TxHeight()+1 and the high watermark TxHeight()+len —
+	// because instances are admitted at consecutive sequence numbers and
+	// leave the window only through the in-order apply loop (bottom first)
+	// or a view change (all at once).
+	inflight   map[types.SeqNum]*replInstance
+	batchArmed bool
 
 	// --- Replication state (follower) ---
 	prepared map[types.SeqNum]*pendingProposal // Ord accepted, awaiting Cmt/commit
 	ordVoted map[types.SeqNum]types.View       // "n has not been used" check
+	// ordStash buffers proposals that arrived ahead of their predecessor
+	// (the pipelined window makes this routine when a message is lost or
+	// reordered): once the predecessor prepares or commits, the stashed
+	// proposal is replayed instead of waiting for the leader's
+	// retransmission cycle. Bounded by ordStashLimit.
+	ordStash map[types.SeqNum]*types.Ord
 
 	// committedTx lets the node answer duplicate proposals and complaints
 	// for already-committed transactions.
@@ -237,6 +304,11 @@ type Node struct {
 	puzzleToken uint64
 	voteColl    *quorum.Collector
 	campMsg     *types.CampVC
+	// voteLocks accumulates the certified in-flight blocks (locked slots)
+	// attached to election votes, keeping the highest-view ordering_QC per
+	// sequence number. On election it is merged with this server's own
+	// locked slots into the adoption plan for the previous leader's window.
+	voteLocks map[types.SeqNum]*types.TxBlock
 
 	// --- Leader VC state ---
 	vcYesColl      *quorum.Collector
@@ -254,6 +326,7 @@ type Node struct {
 	// --- Sync state ---
 	syncing   bool
 	syncFrom  types.ServerID
+	syncToken uint64
 	syncStash []stashedMsg
 
 	tokenSeq uint64
@@ -270,7 +343,9 @@ func New(cfg Config) *Node {
 	return &Node{
 		cfg:             c,
 		store:           ledger.NewStore(c.N, c.InitialLeader, c.StateMachine),
+		inflight:        make(map[types.SeqNum]*replInstance),
 		prepared:        make(map[types.SeqNum]*pendingProposal),
+		ordStash:        make(map[types.SeqNum]*types.Ord),
 		ordVoted:        make(map[types.SeqNum]types.View),
 		committedTx:     make(map[types.Digest]types.SeqNum),
 		propSeen:        make(map[types.Digest]*types.Prop),
@@ -300,6 +375,19 @@ func (n *Node) Store() *ledger.Store { return n.store }
 // ReputationPenalty returns the node's view of server id's current rp.
 func (n *Node) ReputationPenalty(id types.ServerID) int64 {
 	return n.store.LatestVcBlock().RP[id]
+}
+
+// WindowStats exposes the leader's replication-window occupancy for tests
+// and metrics: queued transactions, in-flight instances (of which parked =
+// commit_QC assembled but a predecessor still open), and whether the
+// partial-batch flush timer is armed.
+func (n *Node) WindowStats() (pending, inflight, parked int, batchArmed bool) {
+	for _, inst := range n.inflight {
+		if inst.committed() {
+			parked++
+		}
+	}
+	return len(n.pending), len(n.inflight), parked, n.batchArmed
 }
 
 // Init implements consensus.Replica. The initial leader of view 1 is
@@ -397,6 +485,8 @@ func (n *Node) OnMessage(now time.Duration, from consensus.Origin, msg types.Mes
 		return n.onOrdReply(now, m)
 	case *types.Cmt:
 		return n.onCmt(now, m)
+	case *types.Adopt:
+		return n.onAdopt(now, m)
 	case *types.CmtReply:
 		return n.onCmtReply(now, m)
 	case *types.TxBlockMsg:
@@ -424,6 +514,10 @@ func (n *Node) OnTimer(now time.Duration, kind consensus.TimerKind, key uint64) 
 		return n.onPolicyTimer(now, key)
 	case TimerBatch:
 		return n.onBatchTimer(now)
+	case TimerInstance:
+		return n.onInstanceTimer(now, types.SeqNum(key))
+	case TimerSync:
+		return n.onSyncTimeout(now, key)
 	}
 	return nil
 }

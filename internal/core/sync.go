@@ -17,7 +17,10 @@ import (
 // staleness, and replays stashed traffic once the chains catch up.
 
 // startSync requests blocks of the given kind in (start, end] from peer.
-// trigger, if non-nil, is replayed after the sync completes.
+// trigger, if non-nil, is replayed after the sync completes. Every sync is
+// bounded by TimerSync: a lost request or response must not wedge the node
+// in the syncing state (it stashes all other traffic — including election
+// votes — so a silent wedge would take the server out of the cluster).
 func (n *Node) startSync(peer types.ServerID, kind types.SyncKind, start, end uint64, trigger types.Message) []consensus.Effect {
 	if trigger != nil && len(n.syncStash) < 4096 {
 		n.syncStash = append(n.syncStash, stashedMsg{consensus.FromServer(peer), trigger})
@@ -27,11 +30,38 @@ func (n *Node) startSync(peer types.ServerID, kind types.SyncKind, start, end ui
 	}
 	n.syncing = true
 	n.syncFrom = peer
+	n.syncToken++
 	req := &types.SyncReq{From: n.cfg.ID, Kind: kind, Start: start, End: end}
 	return []consensus.Effect{
 		n.trace(consensus.TraceSyncUp, n.View(), int64(end-start)),
 		consensus.Send{To: peer, Msg: req},
+		consensus.SetTimer{Kind: TimerSync, Key: n.syncToken, Delay: n.cfg.SyncTimeout},
 	}
+}
+
+// onSyncTimeout abandons a sync whose response never arrived and replays the
+// stash; replayed messages typically expose the staleness again and retry
+// the sync (possibly against a different, reachable peer).
+func (n *Node) onSyncTimeout(now time.Duration, token uint64) []consensus.Effect {
+	if !n.syncing || token != n.syncToken {
+		return nil
+	}
+	n.syncing = false
+	n.syncFrom = 0
+	return n.replaySyncStash(now)
+}
+
+// replaySyncStash re-delivers the messages stashed while syncing. If a
+// replayed message starts another sync, the remaining entries flow back into
+// the stash through OnMessage's syncing path instead of being dropped.
+func (n *Node) replaySyncStash(now time.Duration) []consensus.Effect {
+	stash := n.syncStash
+	n.syncStash = nil
+	var effs []consensus.Effect
+	for _, s := range stash {
+		effs = append(effs, n.OnMessage(now, s.from, s.msg)...)
+	}
+	return effs
 }
 
 // onSyncReq serves a peer's block request from the local chains.
@@ -57,7 +87,7 @@ func (n *Node) onSyncResp(now time.Duration, m *types.SyncResp) []consensus.Effe
 	if !n.syncing || m.From != n.syncFrom {
 		return nil
 	}
-	var effs []consensus.Effect
+	effs := []consensus.Effect{consensus.CancelTimer{Kind: TimerSync, Key: n.syncToken}}
 	// Validate all blocks through their QCs (the SyncUp function of
 	// §4.2.3), then adopt.
 	for i := range m.VcBlocks {
@@ -99,14 +129,7 @@ func (n *Node) onSyncResp(now time.Duration, m *types.SyncResp) []consensus.Effe
 	n.syncing = false
 	n.syncFrom = 0
 	// Replay stashed messages against the updated chains.
-	stash := n.syncStash
-	n.syncStash = nil
-	for _, s := range stash {
-		effs = append(effs, n.OnMessage(now, s.from, s.msg)...)
-		if n.syncing {
-			break // a replayed message started another sync; the rest is stashed again
-		}
-	}
+	effs = append(effs, n.replaySyncStash(now)...)
 	return effs
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"prestigebft/internal/consensus"
@@ -206,15 +207,15 @@ func (n *Node) becomeRedeemer(now time.Duration, confQC types.QC, vPrime types.V
 	n.vPrime = vPrime
 	n.campRP = res.RP
 	n.campCI = res.CI
-	// Replication in V stops (line 34): drop any in-flight instance.
-	n.inflight = nil
+	// Replication in V stops (line 34): drop the in-flight window.
+	effs := n.dropWindow()
 	n.tokenSeq++
 	n.puzzleToken = n.tokenSeq
 	seed := crypto.PuzzleSeed(n.store.LatestTxBlock().Hash(), vPrime)
-	return []consensus.Effect{
+	return append(effs,
 		n.trace(consensus.TraceViewChangeStart, vPrime, n.campRP),
 		consensus.StartPuzzle{Token: n.puzzleToken, Seed: seed, RP: n.campRP},
-	}
+	)
 }
 
 // OnPuzzleSolved implements consensus.Replica: the redeemer finished its
@@ -247,6 +248,7 @@ func (n *Node) becomeCandidate(now time.Duration, nonce []byte, hr types.Digest)
 	camp.Sig = n.sign(camp.SigningBytes())
 	n.campMsg = camp
 	n.voteColl = quorum.NewCollector(types.QCVote, n.vPrime, types.SeqNum(n.cfg.ID), types.Digest{}, n.quorumSize())
+	n.voteLocks = make(map[types.SeqNum]*types.TxBlock)
 	// A candidate votes for itself, but only if it has not already voted in
 	// this view for a competitor's campaign (C1 binds candidates too —
 	// double voting would let two vc_QCs overlap and break P1).
@@ -337,24 +339,86 @@ func (n *Node) onCampVC(now time.Duration, m *types.CampVC) []consensus.Effect {
 	if !crypto.VerifyPuzzle(seed, m.Nonce, m.HR, bits) {
 		return nil
 	}
-	// Vote (line 30).
+	// Vote (line 30), attaching our locked slots — the certified in-flight
+	// blocks of the departing view — as adoption evidence. Any block with a
+	// commit_QC anywhere is locked at ≥ f+1 correct servers, and any 2f+1
+	// votes intersect them in ≥ 1 correct server, so the winning vote set
+	// provably carries every potentially committed block to the new leader.
 	n.lastVotedView = m.VPrime
 	n.lastVotedFor = m.From
-	vote := &types.VoteCP{From: n.cfg.ID, Cand: m.From, VPrime: m.VPrime}
+	vote := &types.VoteCP{From: n.cfg.ID, Cand: m.From, VPrime: m.VPrime, Locked: n.lockedSlots()}
 	vote.Sig = n.sign(vote.SigningBytes())
 	return []consensus.Effect{consensus.Send{To: m.From, Msg: vote}}
 }
 
+// lockedSlots returns this server's locked window — prepared blocks above
+// the committed tip that carry an ordering_QC — in ascending sequence order.
+func (n *Node) lockedSlots() []types.TxBlock {
+	height := n.store.TxHeight()
+	var seqs []types.SeqNum
+	for seq, p := range n.prepared {
+		if seq > height && !p.block.OrderingQC.IsZero() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]types.TxBlock, 0, len(seqs))
+	for _, seq := range seqs {
+		out = append(out, n.prepared[seq].block)
+	}
+	return out
+}
+
 // onVoteCP collects election votes; 2f+1 form vc_QC and the candidate
-// becomes the leader (lines 46-47).
+// becomes the leader (lines 46-47). Each accepted vote's locked slots are
+// folded into the adoption evidence before the threshold check, so the
+// winning vote set's union is available the moment the candidate wins.
 func (n *Node) onVoteCP(now time.Duration, m *types.VoteCP) []consensus.Effect {
 	if n.state != Candidate || m.VPrime != n.vPrime || m.Cand != n.cfg.ID {
 		return nil
 	}
-	if !n.voteColl.Add(n.cfg.Registry, m.From, m.Sig) {
+	before := n.voteColl.Count()
+	won := n.voteColl.Add(n.cfg.Registry, m.From, m.Sig)
+	if !won && n.voteColl.Count() == before {
+		return nil // duplicate or invalid vote
+	}
+	n.collectVoteLocks(m.Locked)
+	if !won {
 		return nil
 	}
 	return n.becomeLeader(now)
+}
+
+// collectVoteLocks verifies and folds a vote's locked slots into the
+// candidate's adoption evidence, keeping the highest-view ordering_QC per
+// sequence number. Locks are self-certifying: a forged or tampered entry
+// fails its certificate check and is ignored.
+func (n *Node) collectVoteLocks(locked []types.TxBlock) {
+	height := n.store.TxHeight()
+	for i := range locked {
+		blk := locked[i]
+		seq := blk.Header.N
+		if seq <= height {
+			continue
+		}
+		qc := blk.OrderingQC
+		// Dedup before the expensive certificate verification: in a healthy
+		// election every voter attaches the same window, and the stored
+		// entry was already verified.
+		if cur, ok := n.voteLocks[seq]; ok && cur.OrderingQC.View >= qc.View {
+			continue
+		}
+		if qc.Kind != types.QCOrdering || qc.Seq != seq || qc.View != blk.Header.V ||
+			qc.Digest != blk.ContentDigest() {
+			continue
+		}
+		if err := n.cfg.Registry.VerifyQC(&qc, n.quorumSize()); err != nil {
+			continue
+		}
+		cp := blk
+		cp.CommitQC = types.QC{}
+		n.voteLocks[seq] = &cp
+	}
 }
 
 // --- Leader (§4.2.4, Algo. 2 lines 49-54) ------------------------------------
@@ -411,11 +475,26 @@ func (n *Node) onVcYes(now time.Duration, m *types.VcYes) []consensus.Effect {
 		return nil
 	}
 	n.leaderConfirmed = true
+	// Adopt the previous leader's in-flight window before enterView prunes
+	// the prepared map: the highest contiguous chain-consistent prefix of
+	// certified slots — from the winning votes' evidence merged with our own
+	// locks — is re-proposed byte-identically (commit phase only), so any
+	// block the old leader may already have committed is re-committed with
+	// the exact same hash. The remaining in-flight transactions (certified
+	// slots above a gap, plus our own uncertified prepared blocks) are
+	// re-proposed as fresh batches in the new view.
+	adopt, leftover := n.buildAdoptionPlan()
 	effs := n.enterView(now, true)
 	effs = append(effs,
 		n.trace(consensus.TraceElected, blk.V, n.campRP),
 		n.trace(consensus.TraceRPChange, blk.V, n.campRP),
 	)
+	for _, ablk := range adopt {
+		effs = append(effs, n.adoptInstance(now, ablk)...)
+	}
+	for i := range leftover {
+		effs = append(effs, n.enqueueTx(now, &leftover[i])...)
+	}
 	// Outstanding complaints become this leader's backlog (§4.3: an
 	// instance starts on Prop or f+1 Compt messages). Sorted order: the
 	// backlog's batch order must not depend on map iteration.
@@ -427,6 +506,107 @@ func (n *Node) onVcYes(now time.Duration, m *types.VcYes) []consensus.Effect {
 	// Kick replication for any backlog.
 	effs = append(effs, n.maybeStartInstanceWith(now, true)...)
 	return effs
+}
+
+// buildAdoptionPlan merges the election evidence (voteLocks) with this
+// server's own locked slots, keeping the highest-view certificate per
+// sequence number, and splits the previous view's in-flight work into:
+//
+//   - adopt: the contiguous chain-consistent prefix of certified blocks
+//     directly above the committed tip, re-proposed byte-identically. Every
+//     block with a commit_QC anywhere is in this prefix (commits are
+//     in-order, so committed blocks are contiguous above the tip, and the
+//     vote-lock union covers them).
+//   - leftover: the not-yet-committed transactions of everything else in
+//     flight — certified slots beyond a gap and uncertified prepared blocks
+//     — re-proposed as fresh batches.
+func (n *Node) buildAdoptionPlan() (adopt []*types.TxBlock, leftover []types.Prop) {
+	merged := make(map[types.SeqNum]*types.TxBlock, len(n.voteLocks))
+	for seq, b := range n.voteLocks {
+		merged[seq] = b
+	}
+	height := n.store.TxHeight()
+	for seq, p := range n.prepared {
+		if seq <= height || p.block.OrderingQC.IsZero() {
+			continue
+		}
+		if cur, ok := merged[seq]; !ok || p.block.OrderingQC.View > cur.OrderingQC.View {
+			cp := p.block
+			cp.CommitQC = types.QC{}
+			merged[seq] = &cp
+		}
+	}
+	prevHash := n.store.LatestTxBlock().Hash()
+	next := height + 1
+	for {
+		b, ok := merged[next]
+		if !ok || b.Header.PrevHash != prevHash {
+			break
+		}
+		adopt = append(adopt, b)
+		prevHash = b.PredictedHash()
+		delete(merged, next)
+		next++
+	}
+	// Salvage the rest transaction-wise, in sequence order: what is left in
+	// merged (certified slots beyond the gap) plus our own uncertified
+	// prepared blocks. enqueueTx deduplicates against the adopted blocks
+	// (marked in pendingByDigest by adoptInstance) and against committed
+	// transactions via recordCommit's bookkeeping, so nothing commits twice.
+	rest := merged
+	for seq, p := range n.prepared {
+		if seq <= height || seq < next || rest[seq] != nil {
+			continue
+		}
+		cp := p.block
+		rest[seq] = &cp
+	}
+	seqs := make([]types.SeqNum, 0, len(rest))
+	for seq := range rest {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		b := rest[seq]
+		for i := range b.Txs {
+			tx := b.Txs[i]
+			d := tx.Digest()
+			if _, committed := n.committedTx[d]; committed {
+				continue
+			}
+			leftover = append(leftover, types.Prop{Tx: tx, D: d})
+		}
+	}
+	return adopt, leftover
+}
+
+// adoptInstance opens the commit-only consensus instance for one adopted
+// block and broadcasts its Adopt message. The commit collector is built over
+// the block's original commit statement (its proposal view), so the
+// certificate — and the block hash — come out identical to the previous
+// leader's.
+func (n *Node) adoptInstance(now time.Duration, blk *types.TxBlock) []consensus.Effect {
+	cp := *blk
+	seq := cp.Header.N
+	digest := cp.ContentDigest()
+	inst := &replInstance{
+		block:   &cp,
+		digest:  digest,
+		cmtColl: quorum.NewCollector(types.QCCommit, cp.Header.V, seq, digest, n.quorumSize()),
+		started: now,
+		adopted: true,
+	}
+	inst.cmtColl.Add(n.cfg.Registry, n.cfg.ID, n.sign(inst.cmtColl.Statement()))
+	n.inflight[seq] = inst
+	for i := range cp.Txs {
+		n.pendingByDigest[cp.Txs[i].Digest()] = true
+	}
+	ad := &types.Adopt{From: n.cfg.ID, V: n.View(), Block: cp}
+	ad.Sig = n.sign(ad.SigningBytes())
+	return []consensus.Effect{
+		consensus.Broadcast{Msg: ad},
+		consensus.SetTimer{Kind: TimerInstance, Key: uint64(seq), Delay: n.cfg.InstanceTimeout},
+	}
 }
 
 // onVcBlock validates and adopts a new leader's vcBlock (the Receiving
@@ -485,16 +665,39 @@ func (n *Node) enterView(now time.Duration, asLeader bool) []consensus.Effect {
 	}
 	n.viewEnteredAt = now
 	n.inspecting = nil
-	n.inflight = nil
+	effs = append(effs, n.dropWindow()...)
+	// The leader queue dies with the view: transactions whose instances
+	// were dropped belong to the next leader (via adoption, complaints, or
+	// client retries). Keeping pendingByDigest entries for them would make
+	// a re-elected leader silently dedup-drop every retry of a transaction
+	// that died in its old window — stranding those clients on the
+	// complaint path forever. A confirmed new leader rebuilds its queue
+	// right after this from the adoption plan and the complaint backlog.
+	n.pending = nil
+	n.pendingByDigest = make(map[types.Digest]bool)
+	n.batchArmed = false
+	effs = append(effs, consensus.CancelTimer{Kind: TimerBatch, Key: 0})
 	n.replStopped = false
 	n.pendingVcBlock = nil
 	n.vcYesColl = nil
 	n.voteColl = nil
 	n.campMsg = nil
+	n.voteLocks = nil
 	n.refColl = nil
 	n.refreshSent = false
 	n.refreshDone = false
-	n.prepared = make(map[types.SeqNum]*pendingProposal)
+	// Prune the prepared window, but keep locked slots: an ordering_QC is a
+	// cross-view promise (the slot may have committed elsewhere), so locks
+	// survive until their sequence number commits. Uncertified proposals die
+	// with their view as before.
+	kept := make(map[types.SeqNum]*pendingProposal)
+	for seq, p := range n.prepared {
+		if !p.block.OrderingQC.IsZero() {
+			kept[seq] = p
+		}
+	}
+	n.prepared = kept
+	n.ordStash = make(map[types.SeqNum]*types.Ord)
 	effs = append(effs, n.armPolicyTimer()...)
 	// Unserved complaints carry into the new view: re-arm their timers so
 	// the new leader is held to them too (liveness across faulty leaders).

@@ -228,7 +228,7 @@ func isReplicationInput(msg types.Message) bool {
 // isReplicationOutput classifies outbound messages Mode applies to under F4.
 func isReplicationOutput(msg types.Message) bool {
 	switch msg.(type) {
-	case *types.Ord, *types.Cmt, *types.TxBlockMsg, *types.Notif,
+	case *types.Ord, *types.Cmt, *types.Adopt, *types.TxBlockMsg, *types.Notif,
 		*types.OrdReply, *types.CmtReply:
 		return true
 	}
@@ -249,6 +249,10 @@ func Corrupt(msg types.Message) types.Message {
 		c.Sig = nil
 		return &c
 	case *types.Cmt:
+		c := *m
+		c.Sig = nil
+		return &c
+	case *types.Adopt:
 		c := *m
 		c.Sig = nil
 		return &c

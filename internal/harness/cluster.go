@@ -49,6 +49,12 @@ var protocolFactories = map[Protocol]ReplicaFactory{}
 // RegisterProtocol installs a baseline's replica factory.
 func RegisterProtocol(p Protocol, f ReplicaFactory) { protocolFactories[p] = f }
 
+// DefaultPipelineDepth is the replication window applied when
+// Options.PipelineDepth is zero. Zero defers to the core default (8). The
+// bench CLI exposes it as -pipeline-depth so scenario and experiment runs
+// can be repeated at any window without editing specs.
+var DefaultPipelineDepth int
+
 // Options configures a simulated cluster.
 type Options struct {
 	Protocol Protocol
@@ -60,6 +66,10 @@ type Options struct {
 	BatchSize int
 	// PayloadSize is the paper's m in bytes.
 	PayloadSize int
+	// PipelineDepth is the leader's replication window W (see
+	// core.Config.PipelineDepth). Zero selects DefaultPipelineDepth, which
+	// itself defaults to the core default (8); 1 reproduces stop-and-wait.
+	PipelineDepth int
 
 	// Net configures the fabric; the zero value selects the paper's
 	// testbed profile (≤2 ms raw latency, 400 MB/s links).
@@ -159,6 +169,9 @@ func (o *Options) withDefaults() Options {
 	if out.ModelBitsPerRP == 0 {
 		out.ModelBitsPerRP = 4
 	}
+	if out.PipelineDepth == 0 {
+		out.PipelineDepth = DefaultPipelineDepth
+	}
 	return out
 }
 
@@ -231,6 +244,7 @@ func NewCluster(opts Options) *Cluster {
 				Keys:             serverKeys[id],
 				Registry:         reg,
 				BatchSize:        o.BatchSize,
+				PipelineDepth:    o.PipelineDepth,
 				TimeoutMin:       o.TimeoutMin,
 				TimeoutMax:       o.TimeoutMax,
 				ViewPolicy:       o.ViewPolicy,

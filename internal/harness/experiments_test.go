@@ -85,7 +85,7 @@ func TestSplitVoteRandomizationEffect(t *testing.T) {
 // TestExperimentRegistryComplete: every paper figure has a registered
 // runner.
 func TestExperimentRegistryComplete(t *testing.T) {
-	for _, name := range []string{"fig4c", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "peak"} {
+	for _, name := range []string{"fig4c", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "peak", "pipeline"} {
 		if _, ok := Experiments[name]; !ok {
 			t.Errorf("experiment %s not registered", name)
 		}

@@ -98,6 +98,47 @@ func Builtin() []*Scenario {
 			},
 		},
 		{
+			Name:        "leader-crash-full-window",
+			Description: "the leader fail-stops with a full replication window (W=8) of uncommitted instances in flight; the new leader must adopt the certified prefix from election evidence so any block the dead leader already committed re-commits byte-identically (committed-prefix invariant)",
+			Opts: func() harness.Options {
+				o := smallCluster(4, 210)
+				// Enough closed-loop clients to keep all W=8 slots of β=8
+				// batches full when the crash hits mid-window.
+				o.Clients = 64
+				o.PipelineDepth = 8
+				return o
+			}(),
+			Span: 22 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Crash{Server: 1}},
+				{At: 11 * time.Second, Action: Recover{Server: 1}},
+			},
+			Invariants: Invariants{
+				RecoverWithin:     8 * time.Second,
+				RequireViewChange: true,
+			},
+		},
+		{
+			Name:        "partition-mid-window",
+			Description: "a 2|2 partition bisects the cluster while a deep (W=8) window is in flight; neither side holds a quorum, so the half-replicated window must stall without conflicting commits and drain after the heal",
+			Opts: func() harness.Options {
+				o := smallCluster(4, 211)
+				o.Clients = 64
+				o.PipelineDepth = 8
+				return o
+			}(),
+			Span: 25 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Partition{Groups: [][]types.ServerID{{1, 2}}}},
+				{At: 8 * time.Second, Action: Heal{}},
+			},
+			Invariants: Invariants{
+				RecoverWithin: 12 * time.Second,
+				StallFrom:     2500 * time.Millisecond,
+				StallTo:       8 * time.Second,
+			},
+		},
+		{
 			Name:        "flaky-network",
 			Description: "gray failure: every link stays up but turns slow (+20±10 ms) and lossy (15% drops) for a window, then the fabric is restored",
 			Opts:        smallCluster(4, 206),
@@ -196,6 +237,14 @@ func Get(name string) (*Scenario, bool) {
 // suite parallelizes and reproduces exactly like every other experiment.
 // reports is filled in cell order during Grid.Run.
 func SuiteOf(names []string) (g *harness.Grid, reports []*Report, err error) {
+	return SuiteSeeded(names, 0)
+}
+
+// SuiteSeeded is SuiteOf with every scenario's RNG seed shifted by
+// seedOffset. The invariants are seed-independent claims, so the nightly CI
+// sweep runs the suite across a band of offsets to flush out
+// schedule-dependent protocol bugs that any single seed would miss.
+func SuiteSeeded(names []string, seedOffset int64) (g *harness.Grid, reports []*Report, err error) {
 	var lib []*Scenario
 	if len(names) == 0 {
 		lib = Builtin()
@@ -206,6 +255,15 @@ func SuiteOf(names []string) (g *harness.Grid, reports []*Report, err error) {
 				return nil, nil, fmt.Errorf("unknown scenario %q (have: %v)", name, Names())
 			}
 			lib = append(lib, s)
+		}
+	}
+	if seedOffset != 0 {
+		// Builtin returns fresh copies, so shifting seeds is cell-local.
+		for _, s := range lib {
+			if s.Opts.Seed == 0 {
+				s.Opts.Seed = seedFor(s.Name)
+			}
+			s.Opts.Seed += seedOffset
 		}
 	}
 	g = &harness.Grid{

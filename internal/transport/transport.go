@@ -42,6 +42,7 @@ func init() {
 	gob.Register(&types.Ord{})
 	gob.Register(&types.OrdReply{})
 	gob.Register(&types.Cmt{})
+	gob.Register(&types.Adopt{})
 	gob.Register(&types.CmtReply{})
 	gob.Register(&types.TxBlockMsg{})
 	gob.Register(&types.SyncReq{})

@@ -185,15 +185,34 @@ func (m *CampVC) SigningBytes() []byte {
 func (m *CampVC) Signature() []byte { return m.Sig }
 
 // VoteCP is a follower's vote for a candidate in view VPrime.
+//
+// Locked carries the voter's certified-but-uncommitted replication window:
+// every prepared block above the voter's committed tip for which it has seen
+// a valid ordering_QC (the leader's Cmt). Any block that reached a commit_QC
+// anywhere was, by quorum intersection, locked at a correct server among any
+// 2f+1 voters, so the union of Locked across the winning vote set is
+// guaranteed to contain every potentially committed block — the evidence the
+// new leader adopts (re-proposes byte-identically) to preserve the
+// committed-prefix invariant across view changes. The entries are
+// self-certifying through their ordering_QCs and therefore excluded from the
+// vote signature.
 type VoteCP struct {
 	From   ServerID
 	Cand   ServerID
 	VPrime View
+	Locked []TxBlock
 	Sig    []byte
 }
 
-func (m *VoteCP) Type() string  { return "VoteCP" }
-func (m *VoteCP) WireSize() int { return headerSize + 2 + 2 + 8 + sigSize }
+func (m *VoteCP) Type() string { return "VoteCP" }
+func (m *VoteCP) WireSize() int {
+	size := headerSize + 2 + 2 + 8 + sigSize
+	for i := range m.Locked {
+		tb := TxBlockMsg{Block: m.Locked[i]}
+		size += tb.WireSize() - headerSize - sigSize
+	}
+	return size
+}
 func (m *VoteCP) SigningBytes() []byte {
 	return QCStatementBytes(QCVote, m.VPrime, SeqNum(m.Cand), Digest{})
 }
@@ -347,6 +366,37 @@ func (m *CmtReply) SigningBytes() []byte {
 	return QCStatementBytes(QCCommit, m.V, m.N, m.D)
 }
 func (m *CmtReply) Signature() []byte { return m.Sig }
+
+// Adopt re-proposes a block from an earlier view that already carries its
+// ordering_QC: the new leader's adoption of the previous leader's in-flight
+// replication window. Because the ordering certificate already proves 2f+1
+// servers agreed on the block's position and content, receivers skip the
+// Ordering phase and answer directly with a CmtReply over the original
+// commit statement — adoption is a single round trip, and the block commits
+// byte-identical to what the old leader would have committed (commit_QC
+// canonical form excludes signers).
+type Adopt struct {
+	From  ServerID
+	V     View    // the adopting leader's (current) view
+	Block TxBlock // original header and txs, with OrderingQC; CommitQC unset
+	Sig   []byte
+}
+
+func (m *Adopt) Type() string { return "Adopt" }
+func (m *Adopt) WireSize() int {
+	tb := TxBlockMsg{Block: m.Block}
+	return headerSize + 2 + 8 + (tb.WireSize() - headerSize - sigSize) + sigSize
+}
+func (m *Adopt) SigningBytes() []byte {
+	d := m.Block.ContentDigest()
+	buf := make([]byte, 0, 5+2+8+32)
+	buf = append(buf, []byte("adopt")...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.V))
+	buf = append(buf, d[:]...)
+	return buf
+}
+func (m *Adopt) Signature() []byte { return m.Sig }
 
 // TxBlockMsg broadcasts the finished txBlock with its commit_QC so followers
 // can commit and notify clients.

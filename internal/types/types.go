@@ -231,6 +231,22 @@ func (b *TxBlock) Hash() Digest {
 	return out
 }
 
+// PredictedHash returns the address the block will have once it commits in
+// its proposal view. The commit_QC's canonical form excludes signers, so the
+// final Hash is fully determined by (view, seq, content digest) — which lets
+// a pipelining leader chain block N+1 onto block N before N's certificate
+// exists, and lets followers verify that chaining on prepared-but-uncommitted
+// predecessors. For a block that already carries its commit_QC this equals
+// Hash().
+func (b *TxBlock) PredictedHash() Digest {
+	if !b.CommitQC.IsZero() {
+		return b.Hash()
+	}
+	cp := *b
+	cp.CommitQC = QC{Kind: QCCommit, View: b.Header.V, Seq: b.Header.N, Digest: b.ContentDigest()}
+	return cp.Hash()
+}
+
 // --- vcBlock (Figure 3, left) --------------------------------------------
 
 // VcBlock is the deterministic consensus result of one view change. It

@@ -99,6 +99,32 @@ func TestTxBlockHashing(t *testing.T) {
 	}
 }
 
+// TestPredictedHash: the address a block will have once committed in its
+// proposal view is computable before the commit certificate exists — the
+// property the pipelined replication window chains on — and matches the
+// real Hash exactly once the certificate (any signer set) is attached.
+func TestPredictedHash(t *testing.T) {
+	blk := &TxBlock{
+		Header: TxBlockHeader{V: 3, N: 7, BatchLen: 1},
+		Txs:    []Transaction{{Timestamp: 1, Client: 1, Data: []byte("a")}},
+	}
+	pred := blk.PredictedHash()
+	if pred == blk.Hash() {
+		t.Fatal("prediction should differ from the hash of an uncertified block")
+	}
+	committed := *blk
+	committed.CommitQC = QC{
+		Kind: QCCommit, View: 3, Seq: 7, Digest: blk.ContentDigest(),
+		Signers: []ServerID{1, 2, 3},
+	}
+	if committed.Hash() != pred {
+		t.Fatal("predicted hash does not match the committed block's hash")
+	}
+	if committed.PredictedHash() != committed.Hash() {
+		t.Fatal("PredictedHash of a committed block must equal Hash")
+	}
+}
+
 func TestVcBlockHashCanonicalMaps(t *testing.T) {
 	a := GenesisVcBlock(7, 1, 1, 1)
 	b := GenesisVcBlock(7, 1, 1, 1)

@@ -1,0 +1,190 @@
+// Command bench_compare diffs a freshly generated bench-trajectory document
+// (prestige-bench -ci) against the last committed BENCH_*.json baseline and
+// fails on throughput regressions.
+//
+//	go run ./scripts -baseline-glob 'BENCH_PR*.json' -new bench-ci.json
+//
+// Gating rules:
+//   - every throughput metric ("tps", "mean_tps", and scenario "steady_tps")
+//     present in both documents must not drop more than -threshold (default
+//     10%) below the baseline; post-fault "final_tps" is deliberately not
+//     gated — recovery is the scenario invariants' job (the ok flag);
+//   - a scenario row whose ok flag flips 1 -> 0 fails (belt and braces: the
+//     generating run already exits nonzero on violations);
+//   - rows or metrics missing from either side are reported but advisory —
+//     experiments evolve between PRs;
+//   - no baseline file matching the glob is advisory (first run on a fresh
+//     trajectory) and exits 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// trailingNumber extracts the last integer run in a file name (-1 if none):
+// the PR index in BENCH_PR<k>.json.
+func trailingNumber(path string) int {
+	ms := regexp.MustCompile(`\d+`).FindAllString(filepath.Base(path), -1)
+	if len(ms) == 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(ms[len(ms)-1])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+type row struct {
+	Label  string             `json:"label"`
+	Values map[string]float64 `json:"values"`
+}
+
+type result struct {
+	Name string `json:"name"`
+	Rows []row  `json:"rows"`
+}
+
+type doc struct {
+	Scale   string   `json:"scale"`
+	Results []result `json:"results"`
+}
+
+func load(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// entry is one (result name, row label, metric) data point.
+type entry struct {
+	Result, Label, Metric string
+}
+
+func (e entry) String() string { return e.Result + " / " + e.Label + " / " + e.Metric }
+
+// index flattens a document into entry -> value.
+func index(d *doc) map[entry]float64 {
+	out := make(map[entry]float64)
+	for _, res := range d.Results {
+		for _, r := range res.Rows {
+			for k, v := range r.Values {
+				out[entry{res.Name, r.Label, k}] = v
+			}
+		}
+	}
+	return out
+}
+
+// gated reports whether a metric participates in the regression gate:
+// healthy-cluster throughput ("tps", "mean_tps", scenario "steady_tps") and
+// the scenario pass flag. Post-fault "final_tps" stays ungated — recovery
+// quality is judged by the scenario invariants behind "ok".
+func gated(metric string) bool {
+	switch metric {
+	case "tps", "mean_tps", "steady_tps", "ok":
+		return true
+	}
+	return false
+}
+
+func main() {
+	baselineGlob := flag.String("baseline-glob", "BENCH_PR*.json", "glob for committed baseline documents; the match with the highest numeric suffix is used")
+	newPath := flag.String("new", "", "freshly generated bench document (required)")
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional throughput drop")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench_compare: -new is required")
+		os.Exit(2)
+	}
+	matches, err := filepath.Glob(*baselineGlob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: bad glob: %v\n", err)
+		os.Exit(2)
+	}
+	// Exclude the file under test when the glob covers it.
+	abs := func(p string) string { a, _ := filepath.Abs(p); return a }
+	var baselines []string
+	for _, m := range matches {
+		if abs(m) != abs(*newPath) {
+			baselines = append(baselines, m)
+		}
+	}
+	if len(baselines) == 0 {
+		fmt.Printf("bench_compare: no baseline matches %q — first run on an empty trajectory, advisory pass\n", *baselineGlob)
+		return
+	}
+	// Latest baseline = highest numeric suffix (BENCH_PR10 > BENCH_PR9, which
+	// plain lexical order would get wrong), name order as tiebreak.
+	sort.Slice(baselines, func(i, j int) bool {
+		ni, nj := trailingNumber(baselines[i]), trailingNumber(baselines[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return baselines[i] < baselines[j]
+	})
+	basePath := baselines[len(baselines)-1]
+
+	base, err := load(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseIdx, freshIdx := index(base), index(fresh)
+	keys := make([]entry, 0, len(baseIdx))
+	for k := range baseIdx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+
+	failures, advisories := 0, 0
+	for _, k := range keys {
+		if !gated(k.Metric) {
+			continue
+		}
+		old := baseIdx[k]
+		cur, ok := freshIdx[k]
+		if !ok {
+			fmt.Printf("ADVISORY %s: present in baseline %s, missing from %s\n", k, basePath, *newPath)
+			advisories++
+			continue
+		}
+		switch k.Metric {
+		case "ok":
+			if old == 1 && cur != 1 {
+				fmt.Printf("FAIL %s: scenario regressed from pass to fail\n", k)
+				failures++
+			}
+		default:
+			if old > 0 && cur < old*(1-*threshold) {
+				fmt.Printf("FAIL %s: %.1f -> %.1f (%.1f%% drop, threshold %.0f%%)\n",
+					k, old, cur, (1-cur/old)*100, *threshold*100)
+				failures++
+			}
+		}
+	}
+	fmt.Printf("bench_compare: %s vs %s — %d failures, %d advisories\n", *newPath, basePath, failures, advisories)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
