@@ -3,9 +3,9 @@ GO ?= go
 # The committed bench-trajectory document for this PR sequence. CI's bench
 # job regenerates the same document and gates on >10% throughput regressions
 # against the last committed BENCH_*.json.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: build test vet bench bench-json bench-json-all bench-compare scenarios clean
+.PHONY: build test vet bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-json-all:
 # Chaos-scenario suite; exits nonzero if any invariant is violated.
 scenarios:
 	$(GO) run ./cmd/prestige-bench -scenario all
+
+# The same suite against a live loopback-TCP cluster (~4 min, sequential).
+scenarios-live:
+	$(GO) run ./cmd/prestige-bench -live -scenario all
+
+# The two fast live scenarios CI's live-smoke job replays per push.
+live-smoke:
+	$(GO) run ./cmd/prestige-bench -live -scenario leader-crash-midview,flaky-network -json live-verdicts.json
 
 clean:
 	rm -f bench.json

@@ -8,6 +8,7 @@
 //	prestige-bench -experiment all -json o.json  # also write machine-readable results
 //	prestige-bench -scenario all               # the chaos-scenario suite
 //	prestige-bench -scenario majority-partition,flaky-network
+//	prestige-bench -live -scenario all         # the same suite on a live TCP cluster
 //	prestige-bench -workers 1                  # force sequential execution
 //	prestige-bench -list                       # enumerate experiments and scenarios
 //
@@ -21,6 +22,15 @@
 // per-scenario invariant verdicts print to stderr and the process exits
 // nonzero if any invariant was violated, which is what lets CI use the suite
 // as a regression gate. DESIGN.md §7 documents the scenario engine.
+//
+// -live replays the same declarative scenarios against a cluster of real
+// runtime replicas over loopback TCP (internal/liveharness): real
+// signatures, real proof-of-work, transport-level fault injection, and
+// process-style crash/recover. Scenarios run sequentially (they share the
+// machine's wall clock), verdicts carry the same safety and liveness
+// semantics, and the committed-prefix invariant is checked across the live
+// replicas' ledgers. Live runs are not byte-deterministic; DESIGN.md §9
+// documents what is and is not preserved.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"prestigebft/internal/harness"
+	"prestigebft/internal/liveharness"
 	"prestigebft/internal/scenario"
 
 	_ "prestigebft/internal/baseline/hotstuff"
@@ -56,6 +67,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for experiment grids (0 = one per CPU)")
 	depth := flag.Int("pipeline-depth", 0, "default replication window W for clusters that do not pin one (0 = core default, 8); specs with an explicit depth — the pipeline sweep, the *-mid-window scenarios — keep theirs")
 	seedOffset := flag.Int64("seed-offset", 0, "shift every scenario's RNG seed by this offset (the nightly seed sweep)")
+	live := flag.Bool("live", false, "run -scenario against a live loopback-TCP cluster (real replicas, real PoW) instead of the simulator")
+	liveSlack := flag.Float64("live-slack", 0, "multiplier on liveness bounds in -live mode (0 = default 1.5)")
 	flag.Parse()
 
 	harness.Workers = *workers
@@ -85,8 +98,16 @@ func main() {
 	}
 
 	if *scenarios != "" {
-		runScenarios(*scenarios, *jsonPath, *seedOffset)
+		if *live {
+			runScenariosLive(*scenarios, *jsonPath, *seedOffset, *liveSlack)
+		} else {
+			runScenarios(*scenarios, *jsonPath, *seedOffset)
+		}
 		return
+	}
+	if *live {
+		fmt.Fprintln(os.Stderr, "-live applies to -scenario runs; pick scenarios with -scenario <names|all>")
+		os.Exit(2)
 	}
 
 	scale := harness.Quick
@@ -128,18 +149,25 @@ func main() {
 	writeJSON(*jsonPath, &out)
 }
 
+// parseScenarioNames splits a -scenario spec into names; "all" (or empty)
+// selects the whole library.
+func parseScenarioNames(spec string) []string {
+	if spec == "all" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
 // runScenarios executes the chaos suite (or a named subset) and exits
 // nonzero if any invariant was violated — the CI regression gate.
 func runScenarios(spec, jsonPath string, seedOffset int64) {
-	var names []string
-	if spec != "all" {
-		for _, n := range strings.Split(spec, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				names = append(names, n)
-			}
-		}
-	}
-	g, reports, err := scenario.SuiteSeeded(names, seedOffset)
+	g, reports, err := scenario.SuiteSeeded(parseScenarioNames(spec), seedOffset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
@@ -153,6 +181,57 @@ func runScenarios(spec, jsonPath string, seedOffset int64) {
 
 	if failed := reportVerdicts(reports); failed > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d of %d scenarios violated invariants\n", failed, len(reports))
+		os.Exit(1)
+	}
+}
+
+// runScenariosLive executes scenarios sequentially against real TCP
+// clusters (internal/liveharness) and exits nonzero on any violation. The
+// emitted rows share the sim suite's schema so the verdict JSON lands next
+// to the simulator trajectory in CI artifacts, but live rows are
+// wall-clock measurements — reproducible in verdict, not in bytes.
+//
+// The exit code distinguishes what failed: 1 means only timing-class
+// violations (liveness, steady-state, recovery — retryable on a noisy
+// host), 3 means at least one safety violation (conflicting committed
+// prefixes — a protocol bug, never retryable). CI's live-smoke retry
+// keys off this distinction.
+func runScenariosLive(spec, jsonPath string, seedOffset int64, slack float64) {
+	lib, err := scenario.List(parseScenarioNames(spec), seedOffset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	build := liveharness.Builder(liveharness.Config{Slack: slack})
+	res := &harness.Result{
+		Name:  "Chaos scenarios (live)",
+		Notes: "declarative fault timelines on a live loopback-TCP cluster; ok=1 means every invariant (safety, steady-state, liveness/recovery) held",
+	}
+	start := time.Now()
+	reports := make([]*scenario.Report, 0, len(lib))
+	for _, s := range lib {
+		fmt.Printf("live %-34s ...", s.Name)
+		cellStart := time.Now()
+		rep := s.RunWith(build)
+		fmt.Printf(" done in %v\n", time.Since(cellStart).Round(time.Millisecond))
+		reports = append(reports, rep)
+		res.Rows = append(res.Rows, rep.Row())
+	}
+	fmt.Println(res)
+	fmt.Printf("[%d live scenarios completed in %v]\n\n", len(reports), time.Since(start).Round(time.Millisecond))
+
+	writeJSON(jsonPath, &benchOutput{Scale: "scenario-live", Results: []*harness.Result{res}})
+
+	if failed := reportVerdicts(reports); failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d of %d live scenarios violated invariants\n", failed, len(reports))
+		for _, rep := range reports {
+			for _, v := range rep.Violations {
+				if strings.HasPrefix(v, "safety:") {
+					fmt.Fprintln(os.Stderr, "safety violation present: not retryable")
+					os.Exit(3)
+				}
+			}
+		}
 		os.Exit(1)
 	}
 }

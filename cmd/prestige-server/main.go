@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"strings"
 
 	"prestigebft/internal/consensus"
@@ -38,6 +39,7 @@ func main() {
 	depth := flag.Int("pipeline-depth", 8, "replication window W: in-flight consensus instances (1 = stop-and-wait)")
 	bits := flag.Int("puzzle-bits", 4, "proof-of-work bits per reputation penalty unit")
 	policy := flag.Duration("rotate", 0, "timing-policy view rotation period (0 = disabled)")
+	rngSeed := flag.Int64("rng-seed", 0, "runtime RNG seed for reproducible timer jitter and puzzle nonces (0 = wall clock)")
 	verbose := flag.Bool("v", false, "log traces")
 	flag.Parse()
 
@@ -52,7 +54,7 @@ func main() {
 
 	reg, serverKeys, _ := crypto.GenerateDeployment(*seed, *n, *clients)
 	sid := types.ServerID(*id)
-	node := core.New(core.Config{
+	nodeCfg := core.Config{
 		ID:              sid,
 		N:               *n,
 		Keys:            serverKeys[sid],
@@ -61,7 +63,13 @@ func main() {
 		PipelineDepth:   *depth,
 		PuzzleBitsPerRP: *bits,
 		ViewPolicy:      *policy,
-	})
+	}
+	if *rngSeed != 0 {
+		// Reproducible timer jitter: derive a per-server stream from the
+		// shared seed so servers do not draw identical timeouts.
+		nodeCfg.RNG = rand.New(rand.NewSource(*rngSeed<<16 + int64(sid)))
+	}
+	node := core.New(nodeCfg)
 
 	tr := transport.NewServerTransport(sid)
 	rt := runtime.New(runtime.Config{
@@ -69,6 +77,7 @@ func main() {
 		Peers:           peerMap,
 		Transport:       tr,
 		PuzzleBitsPerRP: *bits,
+		Seed:            *rngSeed,
 		OnCommit: func(b *types.TxBlock) {
 			if *verbose {
 				log.Printf("committed block %d (%d txs) in view %d", b.Header.N, len(b.Txs), b.Header.V)

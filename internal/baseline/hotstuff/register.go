@@ -3,11 +3,22 @@ package hotstuff
 import (
 	"prestigebft/internal/consensus"
 	"prestigebft/internal/harness"
+	"prestigebft/internal/transport"
 )
 
 // init registers the baseline with the experiment harness so clusters can
-// be built with Options{Protocol: harness.HotStuff}.
+// be built with Options{Protocol: harness.HotStuff}, and registers the
+// HotStuff wire set with the transport codec — each protocol package owns
+// its own wire types (transport.RegisterWireTypes), so any binary importing
+// this package can carry them over live TCP.
 func init() {
+	transport.RegisterWireTypes(
+		&Prepare{},
+		&Vote{},
+		&PhaseAnnounce{},
+		&Decide{},
+		&NewView{},
+	)
 	harness.RegisterProtocol(harness.HotStuff, func(env harness.FactoryEnv) consensus.Replica {
 		cfg := Config{
 			ID:        env.ID,

@@ -34,7 +34,10 @@ func New(cfg core.Config) *core.Node {
 	return core.New(cfg)
 }
 
-// init registers the baseline with the harness.
+// init registers the baseline with the harness. Prosecutor has no wire
+// types of its own to register with the transport codec: the degenerate
+// reputation engine rides the core PrestigeBFT message set (package types),
+// which the transport registers itself.
 func init() {
 	harness.RegisterProtocol(harness.Prosecutor, func(env harness.FactoryEnv) consensus.Replica {
 		cfg := core.Config{

@@ -25,6 +25,7 @@ import (
 	"prestigebft/internal/harness"
 	"prestigebft/internal/ledger"
 	"prestigebft/internal/quorum"
+	"prestigebft/internal/transport"
 	"prestigebft/internal/types"
 )
 
@@ -557,8 +558,17 @@ func (r *Replica) notifyClient(client types.ClientID, seq types.SeqNum, d types.
 	return consensus.SendClient{To: client, Msg: notif}
 }
 
-// init registers the baseline with the harness.
+// init registers the baseline with the harness, and its wire set with the
+// transport codec (each protocol package owns its own wire types). Before
+// this registration existed, SBFT messages could not cross a live TCP link
+// at all — gob rejects unregistered concrete types behind an interface.
 func init() {
+	transport.RegisterWireTypes(
+		&PrePrepare{},
+		&Share{},
+		&Proof{},
+		&NewView{},
+	)
 	harness.RegisterProtocol(harness.SBFT, func(env harness.FactoryEnv) consensus.Replica {
 		cfg := Config{
 			ID:          env.ID,

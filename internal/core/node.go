@@ -392,14 +392,61 @@ func (n *Node) WindowStats() (pending, inflight, parked int, batchArmed bool) {
 
 // Init implements consensus.Replica. The initial leader of view 1 is
 // considered confirmed by construction (genesis).
+//
+// Init also serves warm reboots: a crash-recovered process re-hosts its
+// persisted node in a fresh runtime, and every timer (and any in-flight
+// puzzle computation) died with the old one. The node re-derives them from
+// its retained state — the leader's batch and window retransmission
+// timers, sync and complaint timers, a redeemer's computation, a
+// candidate's election timer. On a cold boot all of this state is empty,
+// so the rehydration block is a no-op and (crucially for reproducible
+// simulation) draws nothing from the RNG.
 func (n *Node) Init(now time.Duration) []consensus.Effect {
 	n.viewEnteredAt = now
 	var effs []consensus.Effect
-	if n.store.CurrentLeader() == n.cfg.ID {
+	if n.store.CurrentLeader() == n.cfg.ID && n.state == Follower && n.View() == 1 {
 		n.state = Leader
 		n.leaderConfirmed = true
 	}
 	effs = append(effs, n.armPolicyTimer()...)
+
+	// --- Warm-reboot rehydration (no-op on a cold boot) ---
+	if n.state == Leader {
+		if n.batchArmed {
+			effs = append(effs, consensus.SetTimer{Kind: TimerBatch, Key: 0, Delay: n.cfg.BatchTimeout})
+		}
+		// Window keys are contiguous from the low watermark, so this
+		// iteration is deterministic without sorting.
+		for seq := n.store.TxHeight() + 1; n.inflight[seq] != nil; seq++ {
+			effs = append(effs, consensus.SetTimer{Kind: TimerInstance, Key: uint64(seq), Delay: n.cfg.InstanceTimeout})
+		}
+	}
+	if n.syncing {
+		effs = append(effs, consensus.SetTimer{Kind: TimerSync, Key: n.syncToken, Delay: n.cfg.SyncTimeout})
+	}
+	// An interrupted inspection lost its ConfVC timer; drop it and let the
+	// re-armed complaint timers below trigger a fresh one if still needed.
+	n.inspecting = nil
+	for _, d := range types.SortedDigestKeys(n.comptSeen) {
+		if _, committed := n.committedTx[d]; !committed {
+			effs = append(effs, consensus.SetTimer{
+				Kind:  TimerCompt,
+				Key:   timerKeyFromDigest(d),
+				Delay: n.randTimeout(),
+			})
+		}
+	}
+	switch n.state {
+	case Redeemer:
+		// The computation goroutine died with the old runtime: restart it
+		// under a fresh token (the seed re-derives from chain state).
+		n.tokenSeq++
+		n.puzzleToken = n.tokenSeq
+		seed := crypto.PuzzleSeed(n.store.LatestTxBlock().Hash(), n.vPrime)
+		effs = append(effs, consensus.StartPuzzle{Token: n.puzzleToken, Seed: seed, RP: n.campRP})
+	case Candidate:
+		effs = append(effs, consensus.SetTimer{Kind: TimerElection, Key: uint64(n.vPrime), Delay: n.randTimeout()})
+	}
 	return effs
 }
 

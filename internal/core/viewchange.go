@@ -169,11 +169,35 @@ func (n *Node) onReVC(now time.Duration, m *types.ReVC) []consensus.Effect {
 
 // onConfVCTimeout abandons an inspection that could not gather f+1
 // confirmations; the complaining client is tagged as (possibly) faulty
-// (line 11). Client tagging is an application policy; the node simply drops
-// the inspection.
+// (line 11). Client tagging is an application policy; the node drops the
+// inspection — but if an expired, uncommitted complaint is still
+// outstanding, it re-arms that complaint's timer with a fresh randomized
+// wait and inspects again when it fires. Without the retry, a follower
+// whose single inspection raced ahead of its peers' complaint timers (they
+// saw its ConfVC before their own timers expired, so they refused to
+// confirm — Theorem 4's two-condition rule) would never inspect again:
+// complaint timers only arm on first sight of a complaint, and a stuck
+// client re-complains the same transaction forever. All n−f followers
+// could fail this way simultaneously and wedge the view permanently — the
+// live chaos harness hit exactly that ordering on real TCP clusters about
+// half the time after a leader crash.
 func (n *Node) onConfVCTimeout(now time.Duration, key uint64) []consensus.Effect {
-	if n.inspecting != nil && uint64(n.inspectView) == key {
-		n.inspecting = nil
+	if n.inspecting == nil || uint64(n.inspectView) != key {
+		return nil
+	}
+	n.inspecting = nil
+	if n.state != Follower {
+		return nil
+	}
+	for _, d := range types.SortedDigestKeys(n.comptExpired) {
+		if _, committed := n.committedTx[d]; committed {
+			continue
+		}
+		return []consensus.Effect{consensus.SetTimer{
+			Kind:  TimerCompt,
+			Key:   timerKeyFromDigest(d),
+			Delay: n.randTimeout(),
+		}}
 	}
 	return nil
 }

@@ -20,6 +20,7 @@
 package faults
 
 import (
+	"sync"
 	"time"
 
 	"prestigebft/internal/consensus"
@@ -89,11 +90,17 @@ func (s Spec) String() string {
 	return out
 }
 
-// Wrapper decorates a replica with Byzantine behavior.
+// Wrapper decorates a replica with Byzantine behavior. The spec may be
+// swapped concurrently with event processing (a live chaos harness calls
+// SetSpec from its injection goroutine while the runtime's event loop is
+// mid-message), so access goes through a mutex; the simulator's
+// single-threaded calls pay one uncontended lock.
 type Wrapper struct {
 	inner consensus.Replica
 	node  *core.Node // non-nil when inner is a PrestigeBFT node (state introspection)
-	spec  Spec
+
+	mu   sync.Mutex
+	spec Spec
 }
 
 // Wrap decorates replica with the given fault spec. node may be nil for
@@ -104,10 +111,18 @@ func Wrap(replica consensus.Replica, node *core.Node, spec Spec) *Wrapper {
 
 // SetSpec swaps the fault spec at runtime (dynamic fault schedules: the
 // paper allows the faulty set to change as long as |faulty| ≤ f).
-func (w *Wrapper) SetSpec(spec Spec) { w.spec = spec }
+func (w *Wrapper) SetSpec(spec Spec) {
+	w.mu.Lock()
+	w.spec = spec
+	w.mu.Unlock()
+}
 
 // Spec returns the current fault spec.
-func (w *Wrapper) Spec() Spec { return w.spec }
+func (w *Wrapper) Spec() Spec {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.spec
+}
 
 // Inner returns the wrapped replica.
 func (w *Wrapper) Inner() consensus.Replica { return w.inner }
@@ -122,11 +137,11 @@ func (w *Wrapper) leaderNow() bool {
 
 // misbehaving reports whether Mode applies right now: always for pure
 // F2/F3 participants, only while leading for F4 attackers.
-func (w *Wrapper) misbehaving() bool {
-	if w.spec.Mode == Correct {
+func (w *Wrapper) misbehaving(spec Spec) bool {
+	if spec.Mode == Correct {
 		return false
 	}
-	if w.spec.RepeatedVC {
+	if spec.RepeatedVC {
 		return w.leaderNow()
 	}
 	return true
@@ -134,60 +149,64 @@ func (w *Wrapper) misbehaving() bool {
 
 // Init implements consensus.Replica.
 func (w *Wrapper) Init(now time.Duration) []consensus.Effect {
-	if w.spec.Mode == Quiet && !w.spec.RepeatedVC {
+	spec := w.Spec()
+	if spec.Mode == Quiet && !spec.RepeatedVC {
 		return nil
 	}
-	return w.filter(w.inner.Init(now))
+	return w.filter(spec, w.inner.Init(now))
 }
 
 // OnMessage implements consensus.Replica.
 func (w *Wrapper) OnMessage(now time.Duration, from consensus.Origin, msg types.Message) []consensus.Effect {
-	if w.spec.Mode == Quiet && !w.spec.RepeatedVC {
+	spec := w.Spec()
+	if spec.Mode == Quiet && !spec.RepeatedVC {
 		return nil // F2 participant: total silence
 	}
-	if w.spec.RepeatedVC && w.spec.Mode == Quiet && w.leaderNow() && isReplicationInput(msg) {
+	if spec.RepeatedVC && spec.Mode == Quiet && w.leaderNow() && isReplicationInput(msg) {
 		// F4+F2 leader: ignore replication traffic so no progress is made,
 		// while still processing view-change traffic (it wants to keep
 		// fighting for leadership and must observe its own dethroning).
 		return nil
 	}
-	return w.filter(w.inner.OnMessage(now, from, msg))
+	return w.filter(spec, w.inner.OnMessage(now, from, msg))
 }
 
 // OnTimer implements consensus.Replica.
 func (w *Wrapper) OnTimer(now time.Duration, kind consensus.TimerKind, key uint64) []consensus.Effect {
-	if w.spec.Mode == Quiet && !w.spec.RepeatedVC {
+	spec := w.Spec()
+	if spec.Mode == Quiet && !spec.RepeatedVC {
 		return nil
 	}
-	return w.filter(w.inner.OnTimer(now, kind, key))
+	return w.filter(spec, w.inner.OnTimer(now, kind, key))
 }
 
 // OnPuzzleSolved implements consensus.Replica.
 func (w *Wrapper) OnPuzzleSolved(now time.Duration, token uint64, nonce []byte, hr types.Digest) []consensus.Effect {
-	if w.spec.Mode == Quiet && !w.spec.RepeatedVC {
+	spec := w.Spec()
+	if spec.Mode == Quiet && !spec.RepeatedVC {
 		return nil
 	}
-	return w.filter(w.inner.OnPuzzleSolved(now, token, nonce, hr))
+	return w.filter(spec, w.inner.OnPuzzleSolved(now, token, nonce, hr))
 }
 
 // filter perturbs outbound effects per the active misbehavior.
-func (w *Wrapper) filter(effs []consensus.Effect) []consensus.Effect {
-	if !w.misbehaving() {
+func (w *Wrapper) filter(spec Spec, effs []consensus.Effect) []consensus.Effect {
+	if !w.misbehaving(spec) {
 		return effs
 	}
 	out := make([]consensus.Effect, 0, len(effs))
 	for _, e := range effs {
 		switch ef := e.(type) {
 		case consensus.Send:
-			if m := w.perturb(ef.Msg); m != nil {
+			if m := perturb(spec, ef.Msg); m != nil {
 				out = append(out, consensus.Send{To: ef.To, Msg: m})
 			}
 		case consensus.Broadcast:
-			if m := w.perturb(ef.Msg); m != nil {
+			if m := perturb(spec, ef.Msg); m != nil {
 				out = append(out, consensus.Broadcast{Msg: m})
 			}
 		case consensus.SendClient:
-			if m := w.perturb(ef.Msg); m != nil {
+			if m := perturb(spec, ef.Msg); m != nil {
 				out = append(out, consensus.SendClient{To: ef.To, Msg: m})
 			}
 		default:
@@ -202,12 +221,12 @@ func (w *Wrapper) filter(effs []consensus.Effect) []consensus.Effect {
 // and verification cost). View-change messages pass through under F4 —
 // the attacker follows the VC protocol faithfully because that is its
 // attack surface.
-func (w *Wrapper) perturb(msg types.Message) types.Message {
+func perturb(spec Spec, msg types.Message) types.Message {
 	replication := isReplicationOutput(msg)
-	if w.spec.RepeatedVC && !replication {
+	if spec.RepeatedVC && !replication {
 		return msg
 	}
-	switch w.spec.Mode {
+	switch spec.Mode {
 	case Quiet:
 		return nil
 	case Equivocate:

@@ -131,6 +131,13 @@ type Options struct {
 	Engine func() *reputation.Engine
 }
 
+// WithDefaults returns a copy of the options with every zero field
+// replaced by its documented default — the exact shape NewCluster builds.
+// Other environments hosting the same deployments (internal/liveharness)
+// normalize through it so "the same scenario" means the same cluster in
+// both worlds.
+func (o *Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o *Options) withDefaults() Options {
 	out := *o
 	if out.Protocol == "" {

@@ -1,0 +1,207 @@
+package liveharness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prestigebft/internal/faults"
+	"prestigebft/internal/harness"
+	"prestigebft/internal/liveharness"
+	"prestigebft/internal/scenario"
+	"prestigebft/internal/types"
+)
+
+// shape is the shared small live cluster: few clients, small batches, a
+// fast complaint timeout so failure detection fits short test spans.
+func shape(n int, seed int64) harness.Options {
+	return harness.Options{
+		N: n, Clients: 4, BatchSize: 4, Seed: seed,
+		ClientTimeout: 500 * time.Millisecond,
+	}
+}
+
+func runLive(t *testing.T, s *scenario.Scenario) *scenario.Report {
+	t.Helper()
+	rep := s.RunWith(liveharness.Builder(liveharness.Config{}))
+	t.Log(rep)
+	return rep
+}
+
+// TestLiveSteadyState: a fault-free scenario against real TCP replicas
+// commits during warmup, reports client latencies, and ends with every
+// replica's committed prefix byte-identical (the safety invariant the
+// engine checks through the Environment seam).
+func TestLiveSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster; skipped with -short")
+	}
+	rep := runLive(t, &scenario.Scenario{
+		Name:   "live-steady",
+		Opts:   shape(4, 31),
+		Warmup: 1 * time.Second,
+		Span:   3 * time.Second,
+	})
+	if !rep.OK() {
+		t.Fatalf("steady live run violated invariants: %v", rep.Violations)
+	}
+	if rep.SteadyTPS <= 0 || rep.Commits == 0 {
+		t.Fatalf("no live throughput: %+v", rep)
+	}
+	if rep.P99 <= 0 {
+		t.Fatalf("no client latencies collected: %+v", rep)
+	}
+}
+
+// TestLiveCrashRecoverElects: the live harness implements Crash by killing
+// the leader's runtime and transport; clients complain, a follower must win
+// a real proof-of-work election, and the crashed leader must rejoin from
+// its retained ledger after Recover with throughput restored.
+func TestLiveCrashRecoverElects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster with crash/recover; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("timing-bound liveness deadlines are meaningless under race instrumentation; TestLiveChurnSafety covers this path")
+	}
+	rep := runLive(t, &scenario.Scenario{
+		Name:   "live-leader-crash",
+		Opts:   shape(4, 32),
+		Warmup: 1 * time.Second,
+		Span:   10 * time.Second,
+		Events: []scenario.Event{
+			{At: 1 * time.Second, Action: scenario.Crash{Server: 1}},
+			{At: 5 * time.Second, Action: scenario.Recover{Server: 1}},
+		},
+		Invariants: scenario.Invariants{
+			RecoverWithin:     4 * time.Second,
+			RequireViewChange: true,
+		},
+	})
+	if !rep.OK() {
+		t.Fatalf("live crash/recover violated invariants: %v", rep.Violations)
+	}
+	if rep.Elections == 0 {
+		t.Fatal("no election observed after killing the live leader")
+	}
+}
+
+// TestLivePartitionStalls: a 2|2 partition applied at the transport seam
+// must remove the quorum — zero commits inside the stall window — and the
+// heal must restore progress without conflicting commits.
+func TestLivePartitionStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster with partition; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("timing-bound liveness deadlines are meaningless under race instrumentation; TestLiveChurnSafety covers this path")
+	}
+	rep := runLive(t, &scenario.Scenario{
+		Name:   "live-majority-partition",
+		Opts:   shape(4, 33),
+		Warmup: 1 * time.Second,
+		Span:   12 * time.Second,
+		Events: []scenario.Event{
+			{At: 1 * time.Second, Action: scenario.Partition{Groups: [][]types.ServerID{{1, 2}}}},
+			{At: 5 * time.Second, Action: scenario.Heal{}},
+		},
+		Invariants: scenario.Invariants{
+			RecoverWithin: 6 * time.Second,
+			StallFrom:     1500 * time.Millisecond,
+			StallTo:       5 * time.Second,
+		},
+	})
+	if !rep.OK() {
+		t.Fatalf("live partition scenario violated invariants: %v", rep.Violations)
+	}
+}
+
+// TestLiveRejectsUnsupportedShapes: simulator-only constructions surface as
+// clear environment errors (reported as violations), not silent no-ops.
+func TestLiveRejectsUnsupportedShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*harness.Options)
+		want string
+	}{
+		{"baseline protocol", func(o *harness.Options) { o.Protocol = harness.HotStuff }, "PrestigeBFT replicas only"},
+		{"timeout attack", func(o *harness.Options) { o.TimeoutAttack = true }, "F1"},
+		{"repeated VC", func(o *harness.Options) {
+			o.Faults = map[types.ServerID]faults.Spec{2: {RepeatedVC: true}}
+		}, "F4"},
+	}
+	for _, tc := range cases {
+		o := shape(4, 34)
+		tc.mut(&o)
+		if _, err := liveharness.New(o, liveharness.Config{}); err == nil {
+			t.Errorf("%s: New accepted an unsupported shape", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		s := &scenario.Scenario{Name: "x", Opts: o, Span: 3 * time.Second, Warmup: time.Second}
+		rep := s.RunWith(liveharness.Builder(liveharness.Config{}))
+		if rep.OK() || !strings.Contains(rep.Violations[0], "environment:") {
+			t.Errorf("%s: RunWith produced %v, want an environment violation", tc.name, rep.Violations)
+		}
+	}
+}
+
+// TestLiveBuiltinScenarioSmoke: one real built-in from the shared library
+// end to end in live mode — the same spec CI's live-smoke job replays.
+func TestLiveBuiltinScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full 20s built-in scenario live; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("timing-bound liveness deadlines are meaningless under race instrumentation; TestLiveChurnSafety covers this path")
+	}
+	s, ok := scenario.Get("leader-crash-midview")
+	if !ok {
+		t.Fatal("builtin leader-crash-midview missing")
+	}
+	rep := runLive(t, s)
+	if !rep.OK() {
+		t.Fatalf("built-in %s failed live: %v", s.Name, rep.Violations)
+	}
+	if rep.Elections == 0 {
+		t.Fatal("live leader-crash-midview completed without an election")
+	}
+}
+
+// TestLiveChurnSafety runs the full churn repertoire — crash, recover,
+// partition, heal, degrade, restore, dynamic fault swap — with no timing
+// invariants, asserting only what must hold at any speed: the committed
+// prefixes stay byte-identical. It runs under the race detector too, so
+// the stop/respawn and fabric-swap concurrency is race-checked even when
+// the timing-strict tests are skipped.
+func TestLiveChurnSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP cluster; skipped with -short")
+	}
+	o := shape(4, 35)
+	o.WrapServers = []types.ServerID{3}
+	rep := runLive(t, &scenario.Scenario{
+		Name:   "live-churn-safety",
+		Opts:   o,
+		Warmup: 1 * time.Second,
+		Span:   9 * time.Second,
+		Events: []scenario.Event{
+			{At: 1 * time.Second, Action: scenario.Crash{Server: 2}},
+			{At: 2 * time.Second, Action: scenario.Degrade{Extra: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, DropRate: 0.05}},
+			{At: 3 * time.Second, Action: scenario.Recover{Server: 2}},
+			{At: 4 * time.Second, Action: scenario.SetFault{Server: 3, Spec: faults.Spec{Mode: faults.Quiet}}},
+			{At: 5 * time.Second, Action: scenario.Partition{Groups: [][]types.ServerID{{4}}}},
+			{At: 6 * time.Second, Action: scenario.Heal{}},
+			{At: 6500 * time.Millisecond, Action: scenario.SetFault{Server: 3, Spec: faults.Spec{}}},
+			{At: 7 * time.Second, Action: scenario.Restore{}},
+		},
+	})
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "safety:") {
+			t.Fatalf("live churn broke the committed-prefix invariant: %v", rep.Violations)
+		}
+	}
+	if rep.SteadyTPS <= 0 {
+		t.Fatalf("no steady-state throughput before churn: %+v", rep)
+	}
+}

@@ -1,0 +1,122 @@
+package liveharness
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"prestigebft/internal/consensus"
+	"prestigebft/internal/scenario"
+	"prestigebft/internal/types"
+)
+
+// commitEvent is one committed block, stamped in scenario time and
+// deduplicated across servers (the first replica to commit seq wins),
+// mirroring harness.Metrics.OnCommit.
+type commitEvent struct {
+	at  time.Duration
+	txs int
+}
+
+// metrics aggregates everything observable from a live run. Unlike the
+// simulator's collector it is written to concurrently by every runtime's
+// event loop, so all state sits behind a mutex.
+type metrics struct {
+	env *Env
+
+	mu        sync.Mutex
+	blockSeen map[types.SeqNum]bool
+	commits   []commitEvent
+	totalTxs  int
+
+	viewChanges int
+	elections   int
+	syncUps     int
+
+	latencies []time.Duration
+}
+
+func newMetrics(e *Env) *metrics {
+	return &metrics{env: e, blockSeen: make(map[types.SeqNum]bool)}
+}
+
+// onCommit records a committed block once, whichever replica reports first.
+func (m *metrics) onCommit(blk *types.TxBlock) {
+	at := m.env.scenarioNow()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blockSeen[blk.Header.N] {
+		return
+	}
+	m.blockSeen[blk.Header.N] = true
+	m.commits = append(m.commits, commitEvent{at: at, txs: len(blk.Txs)})
+	m.totalTxs += len(blk.Txs)
+}
+
+// onTrace counts the protocol events the scenario invariants consume.
+func (m *metrics) onTrace(tr consensus.Trace) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch tr.Event {
+	case consensus.TraceViewChangeStart:
+		m.viewChanges++
+	case consensus.TraceElected:
+		m.elections++
+	case consensus.TraceSyncUp:
+		m.syncUps++
+	}
+}
+
+// tps returns committed transactions per second over [from, to) of
+// scenario time, the same window semantics as harness.Metrics.TPS.
+func (m *metrics) tps(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	txs := 0
+	for _, c := range m.commits {
+		if c.at >= from && c.at < to {
+			txs += c.txs
+		}
+	}
+	return float64(txs) / (to - from).Seconds()
+}
+
+func (m *metrics) progress() scenario.Progress {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return scenario.Progress{
+		Commits:     len(m.commits),
+		TotalTxs:    m.totalTxs,
+		ViewChanges: m.viewChanges,
+		Elections:   m.elections,
+		SyncUps:     m.syncUps,
+	}
+}
+
+func (m *metrics) resetLatencies() {
+	m.mu.Lock()
+	m.latencies = m.latencies[:0]
+	m.mu.Unlock()
+}
+
+func (m *metrics) addLatencies(ls []time.Duration) {
+	m.mu.Lock()
+	m.latencies = append(m.latencies, ls...)
+	m.mu.Unlock()
+}
+
+// latencyPercentile matches harness.Metrics.LatencyPercentile.
+func (m *metrics) latencyPercentile(p float64) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latencies) == 0 {
+		return 0
+	}
+	ls := append([]time.Duration(nil), m.latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := int(p / 100 * float64(len(ls)-1))
+	return ls[idx]
+}

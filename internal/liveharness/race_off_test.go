@@ -1,0 +1,6 @@
+//go:build !race
+
+package liveharness_test
+
+// raceEnabled mirrors race_on_test.go for uninstrumented builds.
+const raceEnabled = false

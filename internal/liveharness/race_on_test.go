@@ -1,0 +1,11 @@
+//go:build race
+
+package liveharness_test
+
+// raceEnabled reports that the race detector instruments this build. The
+// live tests use it to skip timing-bound invariant assertions: with crypto
+// and scheduling slowed several-fold, liveness deadlines measure the
+// instrumentation, not the protocol. Safety-only churn coverage
+// (TestLiveChurnSafety) still runs so the crash/respawn concurrency is
+// race-checked.
+const raceEnabled = true

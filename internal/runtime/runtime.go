@@ -36,6 +36,17 @@ type Config struct {
 	OnTrace func(consensus.Trace)
 	// Logf logs runtime events; nil uses the standard logger.
 	Logf func(format string, args ...any)
+	// Seed seeds the runtime's RNG (puzzle nonce starting points and any
+	// future jitter sources). Zero keeps the historical behavior — seeded
+	// from the wall clock — which is fine for production but makes live
+	// runs unreproducible; test harnesses pass an explicit seed.
+	Seed int64
+	// Epoch anchors the runtime's monotonic clock: the replica sees
+	// now = time.Since(Epoch). The zero value means time.Now() at New.
+	// A harness that crash-stops a runtime and re-spawns a fresh one over
+	// the same replica passes the original epoch so the replica's clock
+	// never runs backwards across the restart.
+	Epoch time.Time
 }
 
 type timerKey struct {
@@ -70,7 +81,9 @@ type Runtime struct {
 	clientAddrs map[types.ClientID]string
 	timers      map[timerKey]*timerState
 	puzzle      *puzzleState
+	stopOnce    sync.Once
 	stopped     chan struct{}
+	done        chan struct{}
 	rng         *rand.Rand
 }
 
@@ -89,14 +102,22 @@ func New(cfg Config) *Runtime {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Now()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() ^ int64(cfg.Replica.ID())
+	}
 	return &Runtime{
 		cfg:         cfg,
-		start:       time.Now(),
+		start:       cfg.Epoch,
 		events:      make(chan any, 4096),
 		clientAddrs: make(map[types.ClientID]string),
 		timers:      make(map[timerKey]*timerState),
 		stopped:     make(chan struct{}),
-		rng:         rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(cfg.Replica.ID()))),
+		done:        make(chan struct{}),
+		rng:         rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -115,13 +136,21 @@ func (rt *Runtime) Deliver(env *transport.Envelope) {
 	}
 }
 
-// Stop terminates the event loop.
-func (rt *Runtime) Stop() { close(rt.stopped) }
+// Stop terminates the event loop. Idempotent: a harness tearing down a
+// cluster may race its own crash injections' stops.
+func (rt *Runtime) Stop() { rt.stopOnce.Do(func() { close(rt.stopped) }) }
+
+// Wait blocks until the event loop has fully exited after Stop — the point
+// at which no goroutine touches the replica anymore, so its state (ledger,
+// view) can be read or re-hosted in a fresh runtime without a data race.
+// Only valid after Run has been started.
+func (rt *Runtime) Wait() { <-rt.done }
 
 func (rt *Runtime) now() time.Duration { return time.Since(rt.start) }
 
 // Run executes the replica event loop until Stop.
 func (rt *Runtime) Run() {
+	defer close(rt.done)
 	rt.execute(rt.cfg.Replica.Init(rt.now()))
 	for {
 		select {

@@ -194,3 +194,180 @@ func (p *timerProbe) OnTimer(now time.Duration, kind consensus.TimerKind, key ui
 func (p *timerProbe) OnPuzzleSolved(time.Duration, uint64, []byte, types.Digest) []consensus.Effect {
 	return nil
 }
+
+// scriptProbe is a replica whose OnMessage behavior is driven by the
+// transaction payload of the delivered Prop: "block" parks the event loop
+// until release is closed, "rearm" re-arms the probe timer far in the
+// future, "cancel" cancels it. OnTimer records firings.
+type scriptProbe struct {
+	release chan struct{}
+	fired   chan uint64
+}
+
+func (p *scriptProbe) ID() types.ServerID { return 1 }
+func (p *scriptProbe) Init(now time.Duration) []consensus.Effect {
+	return []consensus.Effect{consensus.SetTimer{Kind: 1, Key: 7, Delay: 30 * time.Millisecond}}
+}
+func (p *scriptProbe) OnMessage(_ time.Duration, _ consensus.Origin, msg types.Message) []consensus.Effect {
+	prop, ok := msg.(*types.Prop)
+	if !ok {
+		return nil
+	}
+	switch string(prop.Tx.Data) {
+	case "block":
+		<-p.release
+	case "rearm":
+		return []consensus.Effect{consensus.SetTimer{Kind: 1, Key: 7, Delay: time.Hour}}
+	case "cancel":
+		return []consensus.Effect{consensus.CancelTimer{Kind: 1, Key: 7}}
+	}
+	return nil
+}
+func (p *scriptProbe) OnTimer(now time.Duration, kind consensus.TimerKind, key uint64) []consensus.Effect {
+	p.fired <- key
+	return nil
+}
+func (p *scriptProbe) OnPuzzleSolved(time.Duration, uint64, []byte, types.Digest) []consensus.Effect {
+	return nil
+}
+
+func prop(data string) *transport.Envelope {
+	return &transport.Envelope{FromClient: 1, Msg: &types.Prop{Tx: types.Transaction{Client: 1, Data: []byte(data)}}}
+}
+
+// staleTimerRun drives the generation-staleness schedule: the probe's timer
+// expires and its event sits queued behind `action` (rearm or cancel)
+// while the loop is parked, so by the time the loop processes the
+// expiration, the timer has been superseded — the stale generation must be
+// ignored. Returns the fired channel for the caller to assert on.
+func staleTimerRun(t *testing.T, action string) (*runtime.Runtime, chan uint64) {
+	t.Helper()
+	p := &scriptProbe{release: make(chan struct{}), fired: make(chan uint64, 16)}
+	rt := runtime.New(runtime.Config{
+		Replica:   p,
+		Peers:     map[types.ServerID]string{},
+		Transport: transport.NewServerTransport(1),
+		Logf:      func(string, ...any) {},
+	})
+	go rt.Run()
+	// Park the loop, queue the superseding action behind it, then let the
+	// 30ms timer expire so its event lands after the action in the queue.
+	rt.Deliver(prop("block"))
+	rt.Deliver(prop(action))
+	time.Sleep(150 * time.Millisecond)
+	close(p.release)
+	return rt, p.fired
+}
+
+// TestStaleTimerGenerationIgnoredAfterRearm: a timer expiration queued
+// before a re-arm must not fire the re-armed timer (its generation is
+// stale). Without the gen check the hour-long replacement would fire
+// instantly with the old expiration.
+func TestStaleTimerGenerationIgnoredAfterRearm(t *testing.T) {
+	rt, fired := staleTimerRun(t, "rearm")
+	defer rt.Stop()
+	select {
+	case k := <-fired:
+		t.Fatalf("stale timer generation fired (key %d) after re-arm", k)
+	case <-time.After(400 * time.Millisecond):
+	}
+}
+
+// TestStaleTimerGenerationIgnoredAfterCancel: same schedule with a cancel —
+// the queued expiration of a canceled timer must be dropped.
+func TestStaleTimerGenerationIgnoredAfterCancel(t *testing.T) {
+	rt, fired := staleTimerRun(t, "cancel")
+	defer rt.Stop()
+	select {
+	case k := <-fired:
+		t.Fatalf("canceled timer fired (key %d) from a stale queued expiration", k)
+	case <-time.After(400 * time.Millisecond):
+	}
+}
+
+// TestDeliverAfterStop: Deliver on a stopped runtime must return promptly
+// without blocking or panicking (transport read loops race teardown), and
+// Stop must be idempotent with Wait observing loop exit.
+func TestDeliverAfterStop(t *testing.T) {
+	p := &scriptProbe{release: make(chan struct{}), fired: make(chan uint64, 1)}
+	close(p.release)
+	rt := runtime.New(runtime.Config{
+		Replica:   p,
+		Peers:     map[types.ServerID]string{},
+		Transport: transport.NewServerTransport(1),
+		Logf:      func(string, ...any) {},
+	})
+	go rt.Run()
+	rt.Stop()
+	rt.Stop() // idempotent
+	rt.Wait()
+
+	// Fill well past the channel capacity: every Deliver must fall through
+	// to the stopped case instead of blocking once the buffer is full.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 5000; i++ {
+			rt.Deliver(prop("x"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver blocked on a stopped runtime")
+	}
+}
+
+// puzzleProbe starts a zero-difficulty puzzle at Init and records the nonce
+// the runtime's RNG chose — the observable output of Config.Seed.
+type puzzleProbe struct {
+	nonces chan []byte
+}
+
+func (p *puzzleProbe) ID() types.ServerID { return 1 }
+func (p *puzzleProbe) Init(now time.Duration) []consensus.Effect {
+	return []consensus.Effect{consensus.StartPuzzle{Token: 1, Seed: []byte("s"), RP: 1}}
+}
+func (p *puzzleProbe) OnMessage(time.Duration, consensus.Origin, types.Message) []consensus.Effect {
+	return nil
+}
+func (p *puzzleProbe) OnTimer(time.Duration, consensus.TimerKind, uint64) []consensus.Effect {
+	return nil
+}
+func (p *puzzleProbe) OnPuzzleSolved(_ time.Duration, _ uint64, nonce []byte, _ types.Digest) []consensus.Effect {
+	p.nonces <- nonce
+	return nil
+}
+
+// TestSeedReproducibility: two runtimes with the same Config.Seed draw the
+// same RNG stream (observed via the puzzle starting nonce); different seeds
+// diverge. Zero keeps the wall-clock behavior for production.
+func TestSeedReproducibility(t *testing.T) {
+	solve := func(seed int64) string {
+		p := &puzzleProbe{nonces: make(chan []byte, 1)}
+		rt := runtime.New(runtime.Config{
+			Replica:         p,
+			Peers:           map[types.ServerID]string{},
+			Transport:       transport.NewServerTransport(1),
+			PuzzleBitsPerRP: 0, // zero difficulty: first nonce wins
+			Seed:            seed,
+			Logf:            func(string, ...any) {},
+		})
+		go rt.Run()
+		defer rt.Stop()
+		select {
+		case n := <-p.nonces:
+			return string(n)
+		case <-time.After(5 * time.Second):
+			t.Fatal("puzzle never solved")
+			return ""
+		}
+	}
+	a, b, c := solve(11), solve(11), solve(12)
+	if a != b {
+		t.Fatalf("same seed produced different nonces %x vs %x", a, b)
+	}
+	if a == c {
+		t.Fatalf("different seeds produced the same nonce %x", a)
+	}
+}

@@ -2,83 +2,37 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"prestigebft/internal/faults"
-	"prestigebft/internal/harness"
-	"prestigebft/internal/sim"
 	"prestigebft/internal/types"
 )
 
 // Action is one environmental injection. Actions mutate the fabric or the
 // fault wrappers, never protocol internals — a scenario only does what a
-// real operator's misfortune (or a real attacker) could.
+// real operator's misfortune (or a real attacker) could. Actions are
+// written against the Environment seam, so the same timeline replays on
+// the simulator and on a live TCP cluster.
 type Action interface {
 	fmt.Stringer
-	apply(rt *runtime)
+	apply(env Environment)
 }
 
-// runtime tracks the desired environmental state of a running scenario.
-// Crashes and partitions both express themselves as link cuts on the same
-// sim.Network cut set, so instead of toggling individual links (where a heal
-// could accidentally un-crash a server that the partition also covered) it
-// recomputes every cut from the declared state after each change.
-type runtime struct {
-	c *harness.Cluster
-	// base is the fabric profile at start; Restore returns to it.
-	base sim.NetworkConfig
-
-	crashed map[types.ServerID]bool
-	// group assigns each server a partition group; nil means no partition.
-	group map[types.ServerID]int
-}
-
-func newRuntime(c *harness.Cluster) *runtime {
-	return &runtime{c: c, base: c.Net.Config(), crashed: make(map[types.ServerID]bool)}
-}
-
-// applyCuts recomputes the whole cut set: a server↔server link is severed
-// iff either side is crashed or the sides sit in different partition groups;
-// a client↔server link is severed iff the server is crashed (partitions
-// model the server-side fabric — clients keep reaching every region).
-func (rt *runtime) applyCuts() {
-	n := rt.c.Opts.N
-	for i := 1; i <= n; i++ {
-		a := types.ServerID(i)
-		for j := i + 1; j <= n; j++ {
-			b := types.ServerID(j)
-			cut := rt.crashed[a] || rt.crashed[b]
-			if !cut && rt.group != nil && rt.group[a] != rt.group[b] {
-				cut = true
-			}
-			rt.c.Net.SetCut(sim.ServerAddr(uint16(a)), sim.ServerAddr(uint16(b)), cut)
-			rt.c.Net.SetCut(sim.ServerAddr(uint16(b)), sim.ServerAddr(uint16(a)), cut)
-		}
-		for cl := 1; cl <= rt.c.Opts.Clients; cl++ {
-			rt.c.Net.SetCut(sim.ServerAddr(uint16(a)), sim.ClientAddr(uint32(cl)), rt.crashed[a])
-			rt.c.Net.SetCut(sim.ClientAddr(uint32(cl)), sim.ServerAddr(uint16(a)), rt.crashed[a])
-		}
-	}
-}
-
-// Crash severs all of a server's links (benign fail-stop).
+// Crash fail-stops a server. The simulator severs all of its links; a live
+// environment stops the hosting runtime and closes its transport, then
+// re-spawns it on Recover against the ledger it kept (fail-recover, not
+// amnesia).
 type Crash struct{ Server types.ServerID }
 
-func (a Crash) String() string { return fmt.Sprintf("crash(S%d)", a.Server) }
-func (a Crash) apply(rt *runtime) {
-	rt.crashed[a.Server] = true
-	rt.applyCuts()
-}
+func (a Crash) String() string        { return fmt.Sprintf("crash(S%d)", a.Server) }
+func (a Crash) apply(env Environment) { env.Crash(a.Server) }
 
-// Recover reconnects a crashed server. The server kept its local state and
-// timers while dark (fail-recover, not amnesia); it rejoins via the normal
-// catch-up path.
+// Recover brings a crashed server back. It rejoins with its local state
+// via the normal catch-up path.
 type Recover struct{ Server types.ServerID }
 
-func (a Recover) String() string { return fmt.Sprintf("recover(S%d)", a.Server) }
-func (a Recover) apply(rt *runtime) {
-	delete(rt.crashed, a.Server)
-	rt.applyCuts()
-}
+func (a Recover) String() string        { return fmt.Sprintf("recover(S%d)", a.Server) }
+func (a Recover) apply(env Environment) { env.Recover(a.Server) }
 
 // Partition splits the server plane: servers in different groups cannot
 // talk. Servers not listed in any group form one implicit group together.
@@ -101,24 +55,13 @@ func (a Partition) String() string {
 	return out + ")"
 }
 
-func (a Partition) apply(rt *runtime) {
-	rt.group = make(map[types.ServerID]int)
-	for gi, g := range a.Groups {
-		for _, id := range g {
-			rt.group[id] = gi + 1 // 0 is the implicit remainder group
-		}
-	}
-	rt.applyCuts()
-}
+func (a Partition) apply(env Environment) { env.Partition(a.Groups) }
 
 // Heal removes the current partition. Crashed servers stay crashed.
 type Heal struct{}
 
-func (Heal) String() string { return "heal" }
-func (Heal) apply(rt *runtime) {
-	rt.group = nil
-	rt.applyCuts()
-}
+func (Heal) String() string        { return "heal" }
+func (Heal) apply(env Environment) { env.Heal() }
 
 // SetFault swaps a server's Byzantine behavior at runtime (the paper's
 // dynamic fault set: membership of the faulty set may change while
@@ -129,32 +72,27 @@ type SetFault struct {
 	Spec   faults.Spec
 }
 
-func (a SetFault) String() string { return fmt.Sprintf("setFault(S%d,%s)", a.Server, a.Spec) }
-func (a SetFault) apply(rt *runtime) {
-	if w := rt.c.Wrappers[a.Server-1]; w != nil {
-		w.SetSpec(a.Spec)
-	}
-}
+func (a SetFault) String() string        { return fmt.Sprintf("setFault(S%d,%s)", a.Server, a.Spec) }
+func (a SetFault) apply(env Environment) { env.SetFault(a.Server, a.Spec) }
 
-// Degrade reshapes the whole fabric: a gray failure where links stay up but
-// turn slow and lossy. A nil Latency keeps the current model.
+// Degrade reshapes the whole fabric: a gray failure where links stay up
+// but turn slow and lossy. Each message gains a normally distributed
+// Extra±Jitter delay on top of the base fabric profile and is dropped with
+// probability DropRate — the netem vocabulary, so the same numbers drive
+// the simulator's latency model and a live transport's fault layer.
 type Degrade struct {
-	Latency  sim.LatencyModel
+	Extra    time.Duration
+	Jitter   time.Duration
 	DropRate float64
 }
 
-func (a Degrade) String() string { return fmt.Sprintf("degrade(drop=%.0f%%)", a.DropRate*100) }
-func (a Degrade) apply(rt *runtime) {
-	rt.c.Net.SetLatency(a.Latency)
-	rt.c.Net.SetDropRate(a.DropRate)
+func (a Degrade) String() string {
+	return fmt.Sprintf("degrade(+%v±%v,drop=%.0f%%)", a.Extra, a.Jitter, a.DropRate*100)
 }
+func (a Degrade) apply(env Environment) { env.Degrade(a.Extra, a.Jitter, a.DropRate) }
 
 // Restore returns the fabric to the scenario's base profile (undoes Degrade).
 type Restore struct{}
 
-func (Restore) String() string { return "restore" }
-func (Restore) apply(rt *runtime) {
-	rt.c.Net.SetLatency(rt.base.Latency)
-	rt.c.Net.SetDropRate(rt.base.DropRate)
-	rt.c.Net.SetBandwidth(rt.base.Bandwidth)
-}
+func (Restore) String() string        { return "restore" }
+func (Restore) apply(env Environment) { env.Restore() }

@@ -145,10 +145,8 @@ func Builtin() []*Scenario {
 			Span:        20 * time.Second,
 			Events: []Event{
 				{At: 2 * time.Second, Action: Degrade{
-					Latency: sim.NetemLatency{
-						Base:  sim.DefaultNetworkConfig().Latency,
-						Extra: sim.NormalLatency{Mean: 20 * time.Millisecond, StdDev: 10 * time.Millisecond},
-					},
+					Extra:    20 * time.Millisecond,
+					Jitter:   10 * time.Millisecond,
 					DropRate: 0.15,
 				}},
 				{At: 9 * time.Second, Action: Restore{}},
@@ -232,6 +230,34 @@ func Get(name string) (*Scenario, bool) {
 	return nil, false
 }
 
+// List resolves names to fresh scenario copies (the whole library when
+// names is empty), shifting every seed by seedOffset. Suite drivers — the
+// parallel sim grid and the sequential live runner — share it.
+func List(names []string, seedOffset int64) ([]*Scenario, error) {
+	var lib []*Scenario
+	if len(names) == 0 {
+		lib = Builtin()
+	} else {
+		for _, name := range names {
+			s, ok := Get(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q (have: %v)", name, Names())
+			}
+			lib = append(lib, s)
+		}
+	}
+	if seedOffset != 0 {
+		// Builtin returns fresh copies, so shifting seeds is cell-local.
+		for _, s := range lib {
+			if s.Opts.Seed == 0 {
+				s.Opts.Seed = seedFor(s.Name)
+			}
+			s.Opts.Seed += seedOffset
+		}
+	}
+	return lib, nil
+}
+
 // SuiteOf builds a figure grid running the named scenarios (all built-ins
 // when names is empty). Each scenario is one independent grid cell, so the
 // suite parallelizes and reproduces exactly like every other experiment.
@@ -245,26 +271,9 @@ func SuiteOf(names []string) (g *harness.Grid, reports []*Report, err error) {
 // sweep runs the suite across a band of offsets to flush out
 // schedule-dependent protocol bugs that any single seed would miss.
 func SuiteSeeded(names []string, seedOffset int64) (g *harness.Grid, reports []*Report, err error) {
-	var lib []*Scenario
-	if len(names) == 0 {
-		lib = Builtin()
-	} else {
-		for _, name := range names {
-			s, ok := Get(name)
-			if !ok {
-				return nil, nil, fmt.Errorf("unknown scenario %q (have: %v)", name, Names())
-			}
-			lib = append(lib, s)
-		}
-	}
-	if seedOffset != 0 {
-		// Builtin returns fresh copies, so shifting seeds is cell-local.
-		for _, s := range lib {
-			if s.Opts.Seed == 0 {
-				s.Opts.Seed = seedFor(s.Name)
-			}
-			s.Opts.Seed += seedOffset
-		}
+	lib, err := List(names, seedOffset)
+	if err != nil {
+		return nil, nil, err
 	}
 	g = &harness.Grid{
 		Name:  "Chaos scenarios",

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"time"
+
+	"prestigebft/internal/faults"
+	"prestigebft/internal/harness"
+	"prestigebft/internal/types"
+)
+
+// Environment is the protocol-facing seam between a declarative scenario
+// and the world it runs in. Event application, invariant checking, and
+// reporting are written against this interface only, so the same scenario
+// definition produces verdicts in every world that can implement it: the
+// deterministic discrete-event simulator (simenv.go, one harness.Cluster)
+// and the live loopback-TCP cluster (internal/liveharness, real
+// runtime.Runtime processes with transport-level fault injection).
+//
+// All times are scenario time: offsets from cluster start in the
+// scenario's own clock. The simulator equates scenario time with virtual
+// time; a live environment maps it onto wall-clock deadlines (optionally
+// scaled) and reports its measurement tolerances through Timing.
+//
+// The lifecycle is strict: Schedule all events, then Start, then RunUntil
+// (monotonic), then Close, then observe. Observation methods must be safe
+// after Close — a live environment only guarantees race-free ledger reads
+// once everything is stopped.
+type Environment interface {
+	// N returns the number of servers in the deployment.
+	N() int
+
+	// Schedule registers fn to run at the absolute scenario-time offset
+	// at. Must only be called before Start.
+	Schedule(at time.Duration, fn func())
+	// Start boots the servers and the client workload.
+	Start()
+	// RunUntil advances (simulator) or blocks (live) until scenario time
+	// reaches at. Calls must be monotonically non-decreasing.
+	RunUntil(at time.Duration)
+	// Close tears the environment down. Idempotent. After Close the
+	// observation methods below remain usable.
+	Close()
+
+	// Injection primitives — one per Action. Implementations recompute the
+	// full fabric state from the declared crash/partition sets on every
+	// change, so overlapping faults compose instead of clobbering.
+	Crash(id types.ServerID)
+	Recover(id types.ServerID)
+	Partition(groups [][]types.ServerID)
+	Heal()
+	SetFault(id types.ServerID, spec faults.Spec)
+	Degrade(extra, jitter time.Duration, drop float64)
+	Restore()
+
+	// Progress returns the run's protocol counters so far.
+	Progress() Progress
+	// TPS returns committed transactions per second over [from, to).
+	TPS(from, to time.Duration) float64
+	// CollectStats folds client-side statistics (latencies, complaints)
+	// into the environment's aggregates; call before LatencyPercentile.
+	CollectStats()
+	// LatencyPercentile returns the p-th percentile (0-100) client-observed
+	// commit latency.
+	LatencyPercentile(p float64) time.Duration
+	// ChainHeight returns a server's committed chain height. ok is false
+	// when the server does not expose a readable ledger (baseline
+	// replicas without a PrestigeBFT store).
+	ChainHeight(id types.ServerID) (h types.SeqNum, ok bool)
+	// BlockHash returns the hash of the committed block at seq on the
+	// given server, for committed-prefix safety comparison. ok mirrors
+	// ChainHeight.
+	BlockHash(id types.ServerID, seq types.SeqNum) (d types.Digest, ok bool)
+	// Timing returns the environment's measurement tolerances: slack
+	// multiplies liveness bounds (wall-clock runs pay scheduling and
+	// real-crypto overheads the simulator does not model), and margin
+	// shifts the leading edge of no-commit stall windows (live event
+	// injection has in-flight traffic the simulator retires instantly).
+	// The simulator returns (1, 0).
+	Timing() (slack float64, margin time.Duration)
+}
+
+// Progress is a snapshot of an environment's protocol counters, the
+// common observable surface behind Report.
+type Progress struct {
+	// Commits counts committed blocks (deduplicated across servers);
+	// TotalTxs the transactions inside them.
+	Commits  int
+	TotalTxs int
+
+	ViewChanges int
+	Elections   int
+	SyncUps     int
+
+	// Msgs and Bytes aggregate fabric traffic (all endpoints).
+	Msgs  uint64
+	Bytes uint64
+}
+
+// NewSimEnv builds the simulated environment for one scenario run: a fresh
+// harness.Cluster driven entirely in virtual time. It is the default
+// environment Run uses, and the reference implementation of the interface.
+func NewSimEnv(o harness.Options) (Environment, error) {
+	return newSimEnv(o), nil
+}

@@ -1,17 +1,23 @@
-// Package scenario is a declarative, deterministic chaos-scenario engine for
-// the simulated cluster. A Scenario names a cluster shape (harness.Options),
-// a timeline of environmental Events (crashes, partitions, fault-spec swaps,
-// fabric degradation), and the invariants the run must uphold (safety:
-// no conflicting commits; steady state: healthy before injection; liveness:
-// throughput recovers within a bound after the last fault heals).
+// Package scenario is a declarative chaos-scenario engine. A Scenario names
+// a cluster shape (harness.Options), a timeline of environmental Events
+// (crashes, partitions, fault-spec swaps, fabric degradation), and the
+// invariants the run must uphold (safety: no conflicting commits; steady
+// state: healthy before injection; liveness: throughput recovers within a
+// bound after the last fault heals).
 //
-// Events are injected by scheduling them on the cluster's own
-// sim.Scheduler before the simulation starts, so a scenario is one ordinary
-// discrete-event run: byte-reproducible for a given spec under any worker
-// count, exactly like the figure grids (runner.go). The built-in library
-// (builtin.go) generalizes the paper's four fixed Byzantine behaviors
-// (§6.2, F1–F4) into composable adversarial workloads; DESIGN.md §7 maps
-// each scenario back to the paper's fault model.
+// Scenarios run against the Environment seam (env.go): the default world
+// is the deterministic simulator (simenv.go), where events are scheduled
+// on the cluster's own sim.Scheduler before the simulation starts, so a
+// scenario is one ordinary discrete-event run — byte-reproducible for a
+// given spec under any worker count, exactly like the figure grids
+// (runner.go). The second world is a live loopback-TCP cluster
+// (internal/liveharness): the same declarative timelines replay against
+// real runtime.Runtime replicas with transport-level fault injection, so
+// the paper's actual deployment mode gets the same safety and liveness
+// verdicts (DESIGN.md §9). The built-in library (builtin.go) generalizes
+// the paper's four fixed Byzantine behaviors (§6.2, F1–F4) into composable
+// adversarial workloads; DESIGN.md §7 maps each scenario back to the
+// paper's fault model.
 package scenario
 
 import (
@@ -21,7 +27,6 @@ import (
 	"time"
 
 	"prestigebft/internal/harness"
-	"prestigebft/internal/sim"
 	"prestigebft/internal/types"
 )
 
@@ -260,9 +265,18 @@ func countByz(byz, crashed map[types.ServerID]bool) int {
 	return n
 }
 
-// Run executes the scenario and evaluates its invariants. It never panics on
-// a malformed spec: validation errors surface as violations in the Report.
-func (s *Scenario) Run() *Report {
+// Run executes the scenario on the deterministic simulator and evaluates
+// its invariants. It never panics on a malformed spec: validation errors
+// surface as violations in the Report.
+func (s *Scenario) Run() *Report { return s.RunWith(NewSimEnv) }
+
+// RunWith executes the scenario in an environment built by newEnv — the
+// sim-or-live seam. The scenario's Opts are normalized (default seed) and
+// handed to the builder; a builder error becomes a violation so suite
+// drivers degrade gracefully. The environment is always closed before the
+// invariants are evaluated, because a live environment only guarantees
+// race-free ledger reads once its replicas are stopped.
+func (s *Scenario) RunWith(newEnv func(harness.Options) (Environment, error)) *Report {
 	rep := &Report{Scenario: s.Name, Recovery: -1}
 	if err := s.Validate(); err != nil {
 		rep.Violations = append(rep.Violations, "invalid: "+err.Error())
@@ -273,73 +287,90 @@ func (s *Scenario) Run() *Report {
 	if o.Seed == 0 {
 		o.Seed = seedFor(s.Name)
 	}
-	c := harness.NewCluster(o)
-	rt := newRuntime(c)
+	env, err := newEnv(o)
+	if err != nil {
+		rep.Violations = append(rep.Violations, "environment: "+err.Error())
+		return rep
+	}
+	defer env.Close()
 	for _, ev := range s.Events {
 		a := ev.Action
-		c.Sched.At(sim.Duration(ev.At), func() { a.apply(rt) })
+		env.Schedule(ev.At, func() { a.apply(env) })
 	}
 
-	c.Start()
+	env.Start()
 	warm := s.warmup()
-	c.Run(warm)
-	rep.SteadyTPS = c.Metrics.TPS(0, sim.Duration(warm))
+	env.RunUntil(warm)
+	rep.SteadyTPS = env.TPS(0, warm)
 	if rep.SteadyTPS == 0 {
 		rep.Violations = append(rep.Violations,
 			fmt.Sprintf("steady-state: no commits during the %v warmup, refusing to inject faults into an unhealthy cluster", warm))
 		return rep
 	}
-	c.Run(s.Span - warm)
+	env.RunUntil(s.Span)
+	env.Close()
 
-	s.evaluate(c, rep)
+	s.evaluate(env, rep)
 	return rep
 }
 
-// evaluate fills the report's metrics and checks every declared invariant.
-func (s *Scenario) evaluate(c *harness.Cluster, rep *Report) {
-	c.CollectClientStats()
-	rep.P50 = c.Metrics.LatencyPercentile(50)
-	rep.P95 = c.Metrics.LatencyPercentile(95)
-	rep.P99 = c.Metrics.LatencyPercentile(99)
-	rep.Commits = len(c.Metrics.Commits)
-	rep.TotalTxs = c.Metrics.TotalTxs
-	rep.ViewChanges = c.Metrics.ViewChangesStarted
-	rep.Elections = c.Metrics.Elections
-	rep.SyncUps = c.Metrics.SyncUps
-	rep.Msgs = c.Net.Sent
-	rep.Bytes = c.Net.Bytes
+// evaluate fills the report's metrics and checks every declared invariant,
+// reading only through the Environment seam.
+func (s *Scenario) evaluate(env Environment, rep *Report) {
+	env.CollectStats()
+	rep.P50 = env.LatencyPercentile(50)
+	rep.P95 = env.LatencyPercentile(95)
+	rep.P99 = env.LatencyPercentile(99)
+	pr := env.Progress()
+	rep.Commits = pr.Commits
+	rep.TotalTxs = pr.TotalTxs
+	rep.ViewChanges = pr.ViewChanges
+	rep.Elections = pr.Elections
+	rep.SyncUps = pr.SyncUps
+	rep.Msgs = pr.Msgs
+	rep.Bytes = pr.Bytes
 	lastAt := s.lastEventAt()
-	rep.FinalTPS = c.Metrics.TPS(sim.Duration(lastAt), sim.Duration(s.Span))
+	rep.FinalTPS = env.TPS(lastAt, s.Span)
 
 	// Safety: every pair of replicas agrees on the common prefix of their
 	// committed chains (no conflicting commits at any sequence number).
-	rep.Violations = append(rep.Violations, safetyViolations(c)...)
+	rep.Violations = append(rep.Violations, safetyViolations(env)...)
 
 	inv := s.Invariants
+	slack, margin := env.Timing()
 	if inv.RecoverWithin > 0 {
 		target := s.recoveryFraction() * rep.SteadyTPS
 		const step = 250 * time.Millisecond
 		for t := lastAt; t+recoveryWindow <= s.Span; t += step {
-			if c.Metrics.TPS(sim.Duration(t), sim.Duration(t+recoveryWindow)) >= target {
+			if env.TPS(t, t+recoveryWindow) >= target {
 				rep.Recovery = t - lastAt
 				break
 			}
 		}
+		// Liveness bounds stretch by the environment's slack (but never
+		// past what the span can actually observe — beyond that the
+		// "never recovered" arm already fires).
+		bound := time.Duration(float64(inv.RecoverWithin) * slack)
 		switch {
 		case rep.Recovery < 0:
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("liveness: throughput never recovered to %.0f%% of steady state (%.0f tps) after the last event at %v",
 					s.recoveryFraction()*100, rep.SteadyTPS, lastAt))
-		case rep.Recovery > inv.RecoverWithin:
+		case rep.Recovery > bound:
 			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("liveness: recovery took %v, bound is %v", rep.Recovery, inv.RecoverWithin))
+				fmt.Sprintf("liveness: recovery took %v, bound is %v", rep.Recovery, bound))
 		}
 	}
 	if inv.StallTo > inv.StallFrom {
-		if tps := c.Metrics.TPS(sim.Duration(inv.StallFrom), sim.Duration(inv.StallTo)); tps > 0 {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("stall: %.0f tps committed during (%v, %v], a window where no quorum exists — possible quorum-intersection bug",
-					tps, inv.StallFrom, inv.StallTo))
+		// The leading margin forgives traffic already in flight when the
+		// quorum-removing event landed (zero on the simulator).
+		from := inv.StallFrom + margin
+		if from < inv.StallTo {
+			if tps := env.TPS(from, inv.StallTo); tps > 0 {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("stall: %.0f tps committed during (%v, %v], a window where no quorum exists — possible quorum-intersection bug",
+						tps, from, inv.StallTo))
+			}
 		}
 	}
 	if inv.RequireViewChange && rep.Elections == 0 {
@@ -350,18 +381,15 @@ func (s *Scenario) evaluate(c *harness.Cluster, rep *Report) {
 	}
 	if id := inv.CatchUpServer; id != 0 {
 		var maxH types.SeqNum
-		for _, n := range c.Nodes {
-			if n == nil {
-				continue
-			}
-			if h := n.Store().TxHeight(); h > maxH {
+		for i := 1; i <= env.N(); i++ {
+			if h, ok := env.ChainHeight(types.ServerID(i)); ok && h > maxH {
 				maxH = h
 			}
 		}
-		node := c.Nodes[id-1]
-		if node == nil {
+		h, ok := env.ChainHeight(id)
+		if !ok {
 			rep.Violations = append(rep.Violations, fmt.Sprintf("catch-up server %d is not a PrestigeBFT node", id))
-		} else if h := node.Store().TxHeight(); h+s.catchUpLag() < maxH {
+		} else if h+s.catchUpLag() < maxH {
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("catch-up: server %d ended at height %d, %d behind the head (%d); allowed lag %d",
 					id, h, maxH-h, maxH, s.catchUpLag()))
@@ -369,29 +397,34 @@ func (s *Scenario) evaluate(c *harness.Cluster, rep *Report) {
 	}
 }
 
-// safetyViolations compares every replica's committed chain against replica
-// 1's over their common prefix. Agreement with a shared reference implies
-// pairwise agreement, so one pass suffices.
-func safetyViolations(c *harness.Cluster) []string {
+// safetyViolations compares every replica's committed chain against the
+// first readable replica's over their common prefix. Agreement with a
+// shared reference implies pairwise agreement, so one pass suffices. The
+// comparison is hash-by-hash over committed blocks — on a live cluster
+// this is the byte-for-byte committed-prefix check across real ledgers.
+func safetyViolations(env Environment) []string {
 	var out []string
-	var ref *types.ServerID
-	for i, n := range c.Nodes {
-		if n == nil {
+	ref := types.ServerID(0)
+	var refH types.SeqNum
+	for i := 1; i <= env.N(); i++ {
+		id := types.ServerID(i)
+		h, ok := env.ChainHeight(id)
+		if !ok {
 			continue
 		}
-		if ref == nil {
-			id := types.ServerID(i + 1)
-			ref = &id
+		if ref == 0 {
+			ref, refH = id, h
 			continue
 		}
-		refStore := c.Nodes[*ref-1].Store()
-		h := refStore.TxHeight()
-		if nh := n.Store().TxHeight(); nh < h {
-			h = nh
+		limit := refH
+		if h < limit {
+			limit = h
 		}
-		for seq := types.SeqNum(1); seq <= h; seq++ {
-			if n.Store().TxBlock(seq).Hash() != refStore.TxBlock(seq).Hash() {
-				out = append(out, fmt.Sprintf("safety: servers %d and %d committed conflicting blocks at seq %d", *ref, n.ID(), seq))
+		for seq := types.SeqNum(1); seq <= limit; seq++ {
+			a, _ := env.BlockHash(ref, seq)
+			b, _ := env.BlockHash(id, seq)
+			if a != b {
+				out = append(out, fmt.Sprintf("safety: servers %d and %d committed conflicting blocks at seq %d", ref, id, seq))
 				break
 			}
 		}

@@ -324,7 +324,7 @@ func TestActionDescriptions(t *testing.T) {
 		"heal":                              Heal{},
 		"setFault(S2,quiet)":                SetFault{Server: 2, Spec: faults.Spec{Mode: faults.Quiet}},
 		"setFault(S2,quiet+repeatedVC(S2))": SetFault{Server: 2, Spec: faults.Spec{Mode: faults.Quiet, RepeatedVC: true, Smart: true}},
-		"degrade(drop=20%)":                 Degrade{DropRate: 0.2},
+		"degrade(+20ms±10ms,drop=20%)":      Degrade{Extra: 20 * time.Millisecond, Jitter: 10 * time.Millisecond, DropRate: 0.2},
 		"restore":                           Restore{},
 	}
 	for want, a := range cases {

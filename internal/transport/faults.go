@@ -1,0 +1,184 @@
+// Link-level fault injection for live deployments, in the style of
+// toxiproxy/comcast-class tools: shape a transport's outbound traffic with
+// drop probabilities, added latency (with jitter), and hard partition
+// blocks, globally or per peer. The chaos harness drives it to replay the
+// same declarative scenarios the simulator runs (internal/scenario) against
+// real TCP processes; sim.Network is the discrete-event counterpart.
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LatencySampler draws one added one-way delay. It mirrors
+// sim.LatencyModel.Sample without importing the simulator: callers adapt a
+// model with func(rng *rand.Rand) time.Duration { return m.Sample(rng) }.
+type LatencySampler func(rng *rand.Rand) time.Duration
+
+// PeerFaults overrides the link condition toward one peer address.
+type PeerFaults struct {
+	// Drop is the probability an individual message to this peer is lost.
+	Drop float64
+	// Extra and Jitter add a normally distributed delay (mean Extra,
+	// stddev Jitter, floored at zero) to each message.
+	Extra  time.Duration
+	Jitter time.Duration
+}
+
+// LinkFaults shapes one Transport's outbound links. The zero value is not
+// usable; construct with NewLinkFaults. All methods are safe for concurrent
+// use — sends consult the current state at transmission-decision time, so a
+// scenario can reshape the fabric while traffic is in flight, exactly like
+// flipping netem rules under a live process.
+//
+// Faults are layered: a base profile (the deployment's emulated fabric, set
+// once), a degrade layer (gray failure, swapped at runtime), per-peer
+// overrides, and partition blocks. A message to addr is dropped if the link
+// is blocked or by the maximum of the applicable drop rates; otherwise it is
+// delayed by base + degrade + per-peer samples, clamped so deliveries to one
+// peer stay FIFO (TCP in-order semantics, matching sim.Network's lastArr).
+type LinkFaults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	baseLat  LatencySampler
+	baseDrop float64
+
+	degradeExtra  time.Duration
+	degradeJitter time.Duration
+	degrading     bool
+	degradeDrop   float64
+
+	perPeer map[string]PeerFaults
+	blocked map[string]bool
+	release map[string]time.Time // FIFO clamp: earliest release per peer
+}
+
+// NewLinkFaults creates a fault layer with its own seeded RNG (injected
+// loss and jitter reproduce for a given seed up to goroutine scheduling).
+func NewLinkFaults(seed int64) *LinkFaults {
+	return &LinkFaults{
+		rng:     rand.New(rand.NewSource(seed)),
+		perPeer: make(map[string]PeerFaults),
+		blocked: make(map[string]bool),
+		release: make(map[string]time.Time),
+	}
+}
+
+// SetBase installs the standing fabric profile (nil sampler = no added
+// latency). Degrade/Restore layer on top of it.
+func (f *LinkFaults) SetBase(lat LatencySampler, drop float64) {
+	f.mu.Lock()
+	f.baseLat, f.baseDrop = lat, drop
+	f.mu.Unlock()
+}
+
+// Degrade turns every link slow and lossy on top of the base profile: each
+// message gains a Normal(extra, jitter) delay (floored at zero) and is
+// dropped with probability drop (replacing the base drop, mirroring the
+// simulator's Degrade action).
+func (f *LinkFaults) Degrade(extra, jitter time.Duration, drop float64) {
+	f.mu.Lock()
+	f.degrading = true
+	f.degradeExtra, f.degradeJitter, f.degradeDrop = extra, jitter, drop
+	f.mu.Unlock()
+}
+
+// Restore removes the degrade layer, returning links to the base profile.
+func (f *LinkFaults) Restore() {
+	f.mu.Lock()
+	f.degrading = false
+	f.degradeExtra, f.degradeJitter, f.degradeDrop = 0, 0, 0
+	f.mu.Unlock()
+}
+
+// SetPeer installs a per-peer override (chaos-utils-style asymmetric gray
+// failure on a single link).
+func (f *LinkFaults) SetPeer(addr string, pf PeerFaults) {
+	f.mu.Lock()
+	f.perPeer[addr] = pf
+	f.mu.Unlock()
+}
+
+// ClearPeer removes a per-peer override.
+func (f *LinkFaults) ClearPeer(addr string) {
+	f.mu.Lock()
+	delete(f.perPeer, addr)
+	f.mu.Unlock()
+}
+
+// SetBlocked cuts (or heals) the directed link to addr. Blocked sends are
+// silently dropped — the partition-set primitive.
+func (f *LinkFaults) SetBlocked(addr string, blocked bool) {
+	f.mu.Lock()
+	if blocked {
+		f.blocked[addr] = true
+	} else {
+		delete(f.blocked, addr)
+	}
+	f.mu.Unlock()
+}
+
+// Blocked reports whether the directed link to addr is currently cut.
+func (f *LinkFaults) Blocked(addr string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.blocked[addr]
+}
+
+// plan decides the fate of one message to addr: dropped, or transmitted
+// after delay. The release clamp keeps per-peer ordering under jitter.
+func (f *LinkFaults) plan(addr string) (drop bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.blocked[addr] {
+		return true, 0
+	}
+	pf := f.perPeer[addr]
+	p := f.baseDrop
+	if f.degrading {
+		p = f.degradeDrop
+	}
+	if pf.Drop > p {
+		p = pf.Drop
+	}
+	if p > 0 && f.rng.Float64() < p {
+		return true, 0
+	}
+	if f.baseLat != nil {
+		delay += f.baseLat(f.rng)
+	}
+	if f.degrading {
+		delay += normalDelay(f.rng, f.degradeExtra, f.degradeJitter)
+	}
+	if pf.Extra > 0 || pf.Jitter > 0 {
+		delay += normalDelay(f.rng, pf.Extra, pf.Jitter)
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	// FIFO clamp: never release before the previous message to this peer —
+	// a zero-delay sample must still queue behind earlier delayed traffic,
+	// or it would overtake it (TCP never reorders one connection's bytes).
+	now := time.Now()
+	at := now.Add(delay)
+	if last := f.release[addr]; at.Before(last) {
+		at = last
+	}
+	if at.After(now) {
+		f.release[addr] = at
+		return false, at.Sub(now)
+	}
+	return false, 0
+}
+
+// normalDelay draws Normal(mean, stddev) floored at zero.
+func normalDelay(rng *rand.Rand, mean, stddev time.Duration) time.Duration {
+	d := mean + time.Duration(rng.NormFloat64()*float64(stddev))
+	if d < 0 {
+		return 0
+	}
+	return d
+}

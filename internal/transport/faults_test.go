@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"prestigebft/internal/types"
+)
+
+// ref builds a small distinct message for traffic tests.
+func ref(v int) types.Message {
+	return &types.Ref{From: 1, V: types.View(v), Sig: []byte("s")}
+}
+
+// TestKillAndRestartPeer is the connection-eviction regression test: a peer
+// dies, the cached connection must be evicted (sends fail instead of
+// vanishing into a dead socket forever), redials must back off instead of
+// hammering the dead address, and once the peer restarts on the same
+// address the transport must recover without any process restart.
+func TestKillAndRestartPeer(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+
+	if err := cli.Send(addr, ref(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+
+	// Kill the peer. The next write may succeed into the kernel buffer,
+	// but within a bounded window a send must fail and evict the conn.
+	srv.Close()
+	evicted := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cli.Send(addr, ref(2)) != nil {
+			evicted = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !evicted {
+		t.Fatal("sends to a dead peer never started failing — the cached connection was not evicted")
+	}
+
+	// While the peer stays dead, redials are rate-limited: at least one
+	// near-immediate follow-up send must fail fast on the backoff window
+	// rather than dialing (dial errors mention "dial", backoff does not).
+	sawBackoff := false
+	for i := 0; i < 20 && !sawBackoff; i++ {
+		if err := cli.Send(addr, ref(3)); err != nil && strings.Contains(err.Error(), "backing off") {
+			sawBackoff = true
+		}
+	}
+	if !sawBackoff {
+		t.Fatal("no send failed fast on the redial backoff while the peer was dead")
+	}
+
+	// Restart the peer on the same address: the transport must redial
+	// (after at most the capped backoff) and deliver again.
+	srv2 := NewServerTransport(2)
+	if err := srv2.Listen(addr, h); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	recovered := false
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := cli.Send(addr, ref(4)); err == nil {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("transport did not recover after the peer restarted")
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovered send was never delivered")
+	}
+}
+
+// TestSendAfterCloseFails: a closed transport refuses sends instead of
+// panicking on its torn-down connection cache (a crashed replica's event
+// loop can race one last send against the teardown).
+func TestSendAfterCloseFails(t *testing.T) {
+	cli := NewServerTransport(1)
+	cli.Close()
+	if err := cli.Send("127.0.0.1:1", ref(1)); err == nil {
+		t.Fatal("send on a closed transport succeeded")
+	}
+	cli.Close() // double Close must be a no-op
+}
+
+// TestLinkFaultsBlock: a blocked link eats every message silently (nil
+// error — the fabric, not the caller, lost it) and counts it as dropped;
+// unblocking restores delivery.
+func TestLinkFaultsBlock(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+	lf := NewLinkFaults(1)
+	cli.SetFaults(lf)
+
+	lf.SetBlocked(srv.Addr(), true)
+	if !lf.Blocked(srv.Addr()) {
+		t.Fatal("link not reported blocked")
+	}
+	for i := 0; i < 5; i++ {
+		if err := cli.Send(srv.Addr(), ref(i)); err != nil {
+			t.Fatalf("blocked send returned error %v, want silent loss", err)
+		}
+	}
+	select {
+	case env := <-ch:
+		t.Fatalf("blocked link delivered %v", env.Msg.Type())
+	case <-time.After(200 * time.Millisecond):
+	}
+	if st := cli.Stats(); st.Dropped != 5 || st.Sent != 5 {
+		t.Fatalf("stats = %+v, want Sent=5 Dropped=5", st)
+	}
+
+	lf.SetBlocked(srv.Addr(), false)
+	if err := cli.Send(srv.Addr(), ref(9)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+// TestLinkFaultsDropRate: a degraded link loses roughly the configured
+// fraction of messages, and Restore returns it to lossless.
+func TestLinkFaultsDropRate(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+	lf := NewLinkFaults(42)
+	cli.SetFaults(lf)
+	lf.Degrade(0, 0, 0.5)
+
+	const sends = 400
+	for i := 0; i < sends; i++ {
+		cli.Send(srv.Addr(), ref(i))
+	}
+	dropped := cli.Stats().Dropped
+	if dropped < sends/4 || dropped > sends*3/4 {
+		t.Fatalf("50%% drop rate lost %d of %d", dropped, sends)
+	}
+	// Drain what survived.
+	for i := uint64(0); i < sends-dropped; i++ {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only drained %d of %d surviving messages", i, sends-dropped)
+		}
+	}
+
+	lf.Restore()
+	before := cli.Stats().Dropped
+	for i := 0; i < 50; i++ {
+		if err := cli.Send(srv.Addr(), ref(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := cli.Stats().Dropped; after != before {
+		t.Fatalf("restored link still dropped %d messages", after-before)
+	}
+}
+
+// TestLinkFaultsLatencyOrdering: injected jittery latency delays messages
+// but the FIFO clamp keeps per-peer delivery in send order, matching the
+// simulator's TCP in-order semantics.
+func TestLinkFaultsLatencyOrdering(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+	lf := NewLinkFaults(7)
+	cli.SetFaults(lf)
+	lf.Degrade(20*time.Millisecond, 15*time.Millisecond, 0)
+
+	const sends = 30
+	start := time.Now()
+	for i := 0; i < sends; i++ {
+		if err := cli.Send(srv.Addr(), ref(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := -1
+	for i := 0; i < sends; i++ {
+		select {
+		case env := <-ch:
+			v := int(env.Msg.(*types.Ref).V)
+			if v <= last {
+				t.Fatalf("delivery out of order: %d after %d", v, last)
+			}
+			last = v
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d deliveries", i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("30 messages with ~20ms injected latency arrived in %v — latency not applied", elapsed)
+	}
+}
+
+// TestLinkFaultsPerPeer: per-peer overrides shape one link without touching
+// others.
+func TestLinkFaultsPerPeer(t *testing.T) {
+	h1, ch1 := collect()
+	srvA := NewServerTransport(2)
+	if err := srvA.Listen("127.0.0.1:0", h1); err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	h2, ch2 := collect()
+	srvB := NewServerTransport(3)
+	if err := srvB.Listen("127.0.0.1:0", h2); err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	cli := NewServerTransport(1)
+	defer cli.Close()
+	lf := NewLinkFaults(3)
+	cli.SetFaults(lf)
+	lf.SetPeer(srvA.Addr(), PeerFaults{Drop: 1})
+
+	for i := 0; i < 10; i++ {
+		cli.Send(srvA.Addr(), ref(i))
+		cli.Send(srvB.Addr(), ref(i))
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case <-ch2:
+		case <-time.After(5 * time.Second):
+			t.Fatal("unaffected peer missed deliveries")
+		}
+	}
+	select {
+	case <-ch1:
+		t.Fatal("Drop=1 peer still received a message")
+	case <-time.After(100 * time.Millisecond):
+	}
+	lf.ClearPeer(srvA.Addr())
+	if err := cli.Send(srvA.Addr(), ref(99)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch1:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cleared per-peer override did not restore delivery")
+	}
+}
+
+// TestLatencySamplerAdapts: the sampler seam accepts any distribution.
+func TestLatencySamplerAdapts(t *testing.T) {
+	lf := NewLinkFaults(1)
+	lf.SetBase(func(rng *rand.Rand) time.Duration { return 3 * time.Millisecond }, 0)
+	drop, delay := lf.plan("x")
+	if drop || delay < 3*time.Millisecond {
+		t.Fatalf("base sampler ignored: drop=%v delay=%v", drop, delay)
+	}
+}

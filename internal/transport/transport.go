@@ -4,8 +4,14 @@
 //
 // Connections are lazy and cached: the first send to a peer dials it;
 // failures drop the message (BFT consensus tolerates loss — retransmission
-// pressure comes from clients and timeouts). Identity inside the payload is
+// pressure comes from clients and timeouts), evict the cached connection,
+// and arm a capped backoff so a dead peer costs one failed dial per backoff
+// window instead of one per message. Identity inside the payload is
 // authenticated by signatures, not by the connection.
+//
+// A Transport optionally routes outbound traffic through a LinkFaults layer
+// (faults.go) so chaos harnesses can inject drops, latency, and partitions
+// without touching the protocol stack.
 package transport
 
 import (
@@ -14,8 +20,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
-	"prestigebft/internal/baseline/hotstuff"
 	"prestigebft/internal/types"
 )
 
@@ -26,47 +32,34 @@ type Envelope struct {
 	Msg        types.Message
 }
 
-func init() {
-	// Concrete message types crossing the wire.
-	gob.Register(&types.Prop{})
-	gob.Register(&types.Notif{})
-	gob.Register(&types.Compt{})
-	gob.Register(&types.ConfVC{})
-	gob.Register(&types.ReVC{})
-	gob.Register(&types.CampVC{})
-	gob.Register(&types.VoteCP{})
-	gob.Register(&types.VcBlockMsg{})
-	gob.Register(&types.VcYes{})
-	gob.Register(&types.Ref{})
-	gob.Register(&types.Rdone{})
-	gob.Register(&types.Ord{})
-	gob.Register(&types.OrdReply{})
-	gob.Register(&types.Cmt{})
-	gob.Register(&types.Adopt{})
-	gob.Register(&types.CmtReply{})
-	gob.Register(&types.TxBlockMsg{})
-	gob.Register(&types.SyncReq{})
-	gob.Register(&types.SyncResp{})
-	gob.Register(&hotstuff.Prepare{})
-	gob.Register(&hotstuff.Vote{})
-	gob.Register(&hotstuff.PhaseAnnounce{})
-	gob.Register(&hotstuff.Decide{})
-	gob.Register(&hotstuff.NewView{})
-}
-
 // Handler consumes inbound envelopes.
 type Handler func(env *Envelope)
 
 // Stats is a snapshot of a transport's traffic counters, mirroring
 // sim.Network's so live deployments are observable the same way simulated
 // ones are: Sent counts send attempts, Delivered inbound envelopes handed to
-// the handler, Dropped messages lost to dial or encode failures, and Bytes
-// the outbound wire bytes actually written.
+// the handler, Dropped messages lost to dial or encode failures (including
+// losses injected by a LinkFaults layer), and Bytes the outbound wire bytes
+// actually written.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
 	Bytes     uint64
+}
+
+// Redial backoff: after a send to a peer fails, further sends fail fast
+// (without dialing) until the backoff window expires. The window doubles
+// per consecutive failure from backoffBase up to backoffCap, and resets on
+// the first successful send.
+const (
+	backoffBase = 25 * time.Millisecond
+	backoffCap  = 500 * time.Millisecond
+)
+
+type backoffState struct {
+	failures int
+	until    time.Time
 }
 
 // Transport is one process's TCP endpoint.
@@ -80,10 +73,25 @@ type Transport struct {
 	dropped   atomic.Uint64
 	bytes     atomic.Uint64
 
-	mu    sync.Mutex
-	conns map[string]*conn
-	done  chan struct{}
+	mu       sync.Mutex
+	conns    map[string]*conn
+	backoff  map[string]*backoffState
+	faults   *LinkFaults
+	delayq   map[string]chan delayedMsg
+	accepted map[net.Conn]struct{}
+	closed   bool
+	done     chan struct{}
 }
+
+// delayedMsg is one latency-injected message waiting in a per-peer queue.
+type delayedMsg struct {
+	at  time.Time
+	msg types.Message
+}
+
+// delayQueueCap bounds each per-peer latency queue; overflow is dropped
+// (a saturated slow link loses packets, like the real thing).
+const delayQueueCap = 4096
 
 // Stats returns a consistent-enough snapshot of the traffic counters (each
 // counter is individually atomic).
@@ -114,16 +122,42 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+func newTransport(self Envelope) *Transport {
+	return &Transport{
+		self:     self,
+		conns:    make(map[string]*conn),
+		backoff:  make(map[string]*backoffState),
+		delayq:   make(map[string]chan delayedMsg),
+		accepted: make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
 // NewServerTransport creates a transport that stamps outbound messages with
 // a server identity.
 func NewServerTransport(id types.ServerID) *Transport {
-	return &Transport{self: Envelope{FromServer: id}, conns: make(map[string]*conn), done: make(chan struct{})}
+	return newTransport(Envelope{FromServer: id})
 }
 
 // NewClientTransport creates a transport that stamps outbound messages with
 // a client identity.
 func NewClientTransport(id types.ClientID) *Transport {
-	return &Transport{self: Envelope{FromClient: id}, conns: make(map[string]*conn), done: make(chan struct{})}
+	return newTransport(Envelope{FromClient: id})
+}
+
+// SetFaults routes outbound sends through a fault-injection layer (nil
+// removes it). Install before traffic starts; swapping mid-flight is safe.
+func (t *Transport) SetFaults(f *LinkFaults) {
+	t.mu.Lock()
+	t.faults = f
+	t.mu.Unlock()
+}
+
+// Faults returns the installed fault layer (nil when none).
+func (t *Transport) Faults() *LinkFaults {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
 }
 
 // Listen accepts inbound connections on addr and feeds envelopes to h.
@@ -154,6 +188,19 @@ func (t *Transport) acceptLoop() {
 }
 
 func (t *Transport) readLoop(c net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	t.accepted[c] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.accepted, c)
+		t.mu.Unlock()
+	}()
 	dec := gob.NewDecoder(c)
 	for {
 		var env Envelope
@@ -173,26 +220,123 @@ func (t *Transport) readLoop(c net.Conn) {
 // the fault model. Every failure also increments the Dropped counter, so a
 // deployment where sends silently vanish shows up in Stats even when the
 // caller discards the error.
+//
+// When a LinkFaults layer is installed, injected losses return nil (the
+// message was "sent" as far as the caller is concerned — the fabric ate it)
+// and injected latency hands the message to a per-peer delay queue whose
+// drainer transmits in send order (TCP in-order semantics preserved).
 func (t *Transport) Send(addr string, msg types.Message) error {
 	t.sent.Add(1)
+	if f := t.Faults(); f != nil {
+		drop, delay := f.plan(addr)
+		if drop {
+			t.dropped.Add(1)
+			return nil
+		}
+		if delay > 0 {
+			t.enqueueDelayed(addr, delayedMsg{at: time.Now().Add(delay), msg: msg})
+			return nil
+		}
+	}
+	return t.transmit(addr, msg)
+}
+
+// enqueueDelayed appends a latency-injected message to addr's FIFO delay
+// queue, spawning its drainer on first use.
+func (t *Transport) enqueueDelayed(addr string, dm delayedMsg) {
 	t.mu.Lock()
-	cn, ok := t.conns[addr]
+	if t.closed {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	q, ok := t.delayq[addr]
+	if !ok {
+		q = make(chan delayedMsg, delayQueueCap)
+		t.delayq[addr] = q
+		go t.drainDelayed(addr, q)
+	}
 	t.mu.Unlock()
+	select {
+	case q <- dm:
+	default:
+		t.dropped.Add(1) // saturated slow link: tail drop
+	}
+}
+
+// drainDelayed transmits one peer's delayed messages in order, sleeping
+// until each release time. Exits when the transport closes.
+func (t *Transport) drainDelayed(addr string, q chan delayedMsg) {
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case dm := <-q:
+			if wait := time.Until(dm.at); wait > 0 {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(wait)
+				select {
+				case <-t.done:
+					return
+				case <-timer.C:
+				}
+			}
+			t.transmit(addr, dm.msg)
+		}
+	}
+}
+
+// transmit performs the actual dial-and-encode, maintaining the connection
+// cache and the redial backoff.
+func (t *Transport) transmit(addr string, msg types.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return fmt.Errorf("send %s: transport closed", addr)
+	}
+	cn, ok := t.conns[addr]
+	if !ok {
+		if bo := t.backoff[addr]; bo != nil && time.Now().Before(bo.until) {
+			t.mu.Unlock()
+			t.dropped.Add(1)
+			return fmt.Errorf("send %s: backing off after %d failures", addr, bo.failures)
+		}
+	}
+	t.mu.Unlock()
+
 	if !ok {
 		raw, err := net.Dial("tcp", addr)
 		if err != nil {
 			t.dropped.Add(1)
+			t.noteFailure(addr)
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
 		cn = &conn{enc: gob.NewEncoder(&countingWriter{w: raw, n: &t.bytes}), c: raw}
 		t.mu.Lock()
-		if existing, raced := t.conns[addr]; raced {
+		switch {
+		case t.closed:
+			t.mu.Unlock()
+			cn.c.Close()
+			t.dropped.Add(1)
+			return fmt.Errorf("send %s: transport closed", addr)
+		case t.conns[addr] != nil:
+			// Raced with a concurrent dial; use the winner.
+			existing := t.conns[addr]
+			t.mu.Unlock()
 			cn.c.Close()
 			cn = existing
-		} else {
+		default:
 			t.conns[addr] = cn
+			t.mu.Unlock()
 		}
-		t.mu.Unlock()
 	}
 	env := t.self
 	env.Msg = msg
@@ -200,28 +344,78 @@ func (t *Transport) Send(addr string, msg types.Message) error {
 	err := cn.enc.Encode(&env)
 	cn.mu.Unlock()
 	if err != nil {
+		// Evict the dead connection so the next send (after backoff)
+		// redials instead of failing against a cached corpse forever.
 		t.dropped.Add(1)
 		t.mu.Lock()
-		delete(t.conns, addr)
+		if t.conns != nil && t.conns[addr] == cn {
+			delete(t.conns, addr)
+		}
 		t.mu.Unlock()
 		cn.c.Close()
+		t.noteFailure(addr)
 		return fmt.Errorf("send %s: %w", addr, err)
 	}
+	t.noteSuccess(addr)
 	return nil
 }
 
-// Close shuts the listener and all connections.
+// noteFailure advances addr's backoff window (doubling, capped).
+func (t *Transport) noteFailure(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	bo := t.backoff[addr]
+	if bo == nil {
+		bo = &backoffState{}
+		t.backoff[addr] = bo
+	}
+	bo.failures++
+	d := backoffBase << (bo.failures - 1)
+	if d > backoffCap || d <= 0 {
+		d = backoffCap
+	}
+	bo.until = time.Now().Add(d)
+}
+
+// noteSuccess clears addr's backoff state after a delivered send.
+func (t *Transport) noteSuccess(addr string) {
+	t.mu.Lock()
+	if t.backoff[addr] != nil {
+		delete(t.backoff, addr)
+	}
+	t.mu.Unlock()
+}
+
+// Close shuts the listener and all connections — outbound and accepted
+// inbound alike, so a closed transport looks like a dead process to its
+// peers (their cached connections fail and evict). Sends after Close fail.
 func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = nil
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
 	close(t.done)
 	if t.listener != nil {
 		t.listener.Close()
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, cn := range t.conns {
+	for _, cn := range conns {
 		cn.c.Close()
 	}
-	t.conns = nil
+	for _, c := range accepted {
+		c.Close()
+	}
 }
 
 // Addr returns the bound listen address (useful with ":0").

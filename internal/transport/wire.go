@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"encoding/gob"
+
+	"prestigebft/internal/types"
+)
+
+// RegisterWireTypes registers concrete message types with the gob codec so
+// they can cross the wire inside an Envelope's Message interface field.
+//
+// Each protocol package owns its wire set and registers it from its own
+// init() — the transport layer knows nothing about the protocols riding on
+// it (previously it imported baseline packages just to register their
+// messages, an inverted dependency that also silently excluded any baseline
+// the transport author forgot). A process can only decode the messages of
+// protocols it imports, which is exactly right: a PrestigeBFT-only server
+// has no business accepting a HotStuff proposal.
+func RegisterWireTypes(msgs ...types.Message) {
+	for _, m := range msgs {
+		gob.Register(m)
+	}
+}
+
+func init() {
+	// The core PrestigeBFT wire set (package types) is owned by the
+	// transport itself: every live binary speaks it.
+	RegisterWireTypes(
+		&types.Prop{},
+		&types.Notif{},
+		&types.Compt{},
+		&types.ConfVC{},
+		&types.ReVC{},
+		&types.CampVC{},
+		&types.VoteCP{},
+		&types.VcBlockMsg{},
+		&types.VcYes{},
+		&types.Ref{},
+		&types.Rdone{},
+		&types.Ord{},
+		&types.OrdReply{},
+		&types.Cmt{},
+		&types.Adopt{},
+		&types.CmtReply{},
+		&types.TxBlockMsg{},
+		&types.SyncReq{},
+		&types.SyncResp{},
+	)
+}
