@@ -3,7 +3,7 @@ GO ?= go
 # The committed bench-trajectory document for this PR sequence. CI's bench
 # job regenerates the same document and gates on >10% throughput regressions
 # against the last committed BENCH_*.json.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 
 .PHONY: build test vet bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke clean
 

@@ -258,6 +258,7 @@ func runCI(path string, seedOffset int64) {
 	out := benchOutput{Scale: "ci"}
 	out.Results = append(out.Results, harness.RunFig4c())
 	out.Results = append(out.Results, harness.RunPipelineSweep(harness.Quick))
+	out.Results = append(out.Results, harness.RunCheckpointSweep(harness.Quick))
 	g, reports, err := scenario.SuiteSeeded(nil, seedOffset)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)

@@ -37,6 +37,7 @@ func main() {
 	clients := flag.Int("clients", 64, "number of client identities in the registry")
 	batch := flag.Int("batch", 100, "batch size β")
 	depth := flag.Int("pipeline-depth", 8, "replication window W: in-flight consensus instances (1 = stop-and-wait)")
+	ckpt := flag.Int("checkpoint-interval", 0, "certified-checkpoint interval in committed seqs: the log compacts below each certificate and late joiners catch up via snapshot (0 = retain the full log)")
 	bits := flag.Int("puzzle-bits", 4, "proof-of-work bits per reputation penalty unit")
 	policy := flag.Duration("rotate", 0, "timing-policy view rotation period (0 = disabled)")
 	rngSeed := flag.Int64("rng-seed", 0, "runtime RNG seed for reproducible timer jitter and puzzle nonces (0 = wall clock)")
@@ -55,14 +56,15 @@ func main() {
 	reg, serverKeys, _ := crypto.GenerateDeployment(*seed, *n, *clients)
 	sid := types.ServerID(*id)
 	nodeCfg := core.Config{
-		ID:              sid,
-		N:               *n,
-		Keys:            serverKeys[sid],
-		Registry:        reg,
-		BatchSize:       *batch,
-		PipelineDepth:   *depth,
-		PuzzleBitsPerRP: *bits,
-		ViewPolicy:      *policy,
+		ID:                 sid,
+		N:                  *n,
+		Keys:               serverKeys[sid],
+		Registry:           reg,
+		BatchSize:          *batch,
+		PipelineDepth:      *depth,
+		CheckpointInterval: *ckpt,
+		PuzzleBitsPerRP:    *bits,
+		ViewPolicy:         *policy,
 	}
 	if *rngSeed != 0 {
 		// Reproducible timer jitter: derive a per-server stream from the

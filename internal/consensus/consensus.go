@@ -121,6 +121,17 @@ const (
 	TraceRefresh
 	// TraceSyncUp marks a stale server syncing its logs.
 	TraceSyncUp
+	// TraceCheckpoint marks a checkpoint certificate assembled and the log
+	// compacted to its seq (Value).
+	TraceCheckpoint
+	// TraceSnapshotInstall marks a stale server installing a certified
+	// snapshot at seq (Value) instead of replaying compacted history.
+	TraceSnapshotInstall
+	// TraceSnapshotReject marks a snapshot at seq (Value) that failed
+	// verification or restore — a replica stuck below every peer's log
+	// base that keeps rejecting snapshots can never catch up, so
+	// observers must be able to see the rejections.
+	TraceSnapshotReject
 )
 
 func (e TraceEvent) String() string {
@@ -141,6 +152,12 @@ func (e TraceEvent) String() string {
 		return "refresh"
 	case TraceSyncUp:
 		return "sync-up"
+	case TraceCheckpoint:
+		return "checkpoint"
+	case TraceSnapshotInstall:
+		return "snapshot-install"
+	case TraceSnapshotReject:
+		return "snapshot-reject"
 	}
 	return "unknown"
 }
@@ -192,7 +209,7 @@ func MessageCostHint(msg types.Message) (nSigs, nTx int) {
 			nTx += len(m.Locked[i].Txs)
 		}
 		return 1 + len(m.Locked), nTx
-	case *types.OrdReply, *types.CmtReply, *types.ReVC, *types.VcYes, *types.Ref, *types.Notif:
+	case *types.OrdReply, *types.CmtReply, *types.ReVC, *types.VcYes, *types.Ref, *types.Notif, *types.CkptVote:
 		return 1, 0
 	case *types.Cmt:
 		return 2, 0 // sender sig + ordering_QC aggregate
@@ -213,6 +230,10 @@ func MessageCostHint(msg types.Message) (nSigs, nTx int) {
 		for i := range m.TxBlocks {
 			n += 2
 			_ = i
+		}
+		if m.Snapshot != nil {
+			// ckpt_QC + the anchor's two QCs, plus state rehashing.
+			n += 3
 		}
 		return n, 0
 	}

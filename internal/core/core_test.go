@@ -48,6 +48,12 @@ func newRig(t *testing.T, n int) *rig {
 // newRigDepth builds a rig with an explicit batch size and replication
 // window depth (0 selects the core default).
 func newRigDepth(t *testing.T, n, batch, depth int) *rig {
+	return newRigCfg(t, n, batch, depth, nil)
+}
+
+// newRigCfg additionally lets a test mutate each node's Config before
+// construction (checkpoint intervals, custom state machines, ...).
+func newRigCfg(t *testing.T, n, batch, depth int, mut func(*Config)) *rig {
 	reg, keys, ckeys := crypto.GenerateDeployment(33, n, 4)
 	r := &rig{
 		t: t, reg: reg, keys: keys, ckeys: ckeys,
@@ -60,11 +66,15 @@ func newRigDepth(t *testing.T, n, batch, depth int) *rig {
 	}
 	for i := 1; i <= n; i++ {
 		id := types.ServerID(i)
-		node := New(Config{
+		cfg := Config{
 			ID: id, N: n, Keys: keys[id], Registry: reg,
 			BatchSize: batch, PipelineDepth: depth, PuzzleBitsPerRP: 2,
 			RNG: rand.New(rand.NewSource(int64(i))),
-		})
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		node := New(cfg)
 		r.nodes[id] = node
 		r.timers[id] = make(map[[2]uint64]time.Duration)
 		r.exec(id, node.Init(0))

@@ -117,6 +117,18 @@ type Config struct {
 	// sync). Default 500ms.
 	SyncTimeout time.Duration
 
+	// CheckpointInterval enables certified checkpoints: every
+	// CheckpointInterval committed sequence numbers the replica hashes its
+	// ledger state (application state + reputation inputs + chain anchor),
+	// broadcasts a signed CkptVote, and — at 2f+1 matching hashes —
+	// assembles a checkpoint certificate that becomes the new log base:
+	// everything below it is pruned, and peers stuck below the base catch
+	// up via the certified snapshot instead of block replay (DESIGN.md
+	// §10). Zero disables checkpointing (the full log is retained forever).
+	// Requires a state machine implementing ledger.Snapshotter; with any
+	// other state machine the interval is inert.
+	CheckpointInterval int
+
 	// ConfVCTimeout bounds the wait for f+1 ReVC replies. Default 300ms.
 	ConfVCTimeout time.Duration
 
@@ -329,6 +341,17 @@ type Node struct {
 	syncToken uint64
 	syncStash []stashedMsg
 
+	// --- Checkpoint state (DESIGN.md §10) ---
+	// ckptVoted is the highest interval boundary this replica has voted for
+	// (or deferred); ckptRounds the open vote collectors by seq;
+	// ckptStash verified votes that arrived before this replica committed
+	// their boundary; ckptDeferred a boundary basis awaiting the vc chain
+	// (the reputation-input digest needs the vcBlock of the anchor's view).
+	ckptVoted    types.SeqNum
+	ckptRounds   map[types.SeqNum]*ckptRound
+	ckptStash    map[types.SeqNum][]*types.CkptVote
+	ckptDeferred *ckptBasis
+
 	tokenSeq uint64
 }
 
@@ -353,6 +376,8 @@ func New(cfg Config) *Node {
 		comptProp:       make(map[types.Digest]*types.Prop),
 		comptExpired:    make(map[types.Digest]bool),
 		pendingByDigest: make(map[types.Digest]bool),
+		ckptRounds:      make(map[types.SeqNum]*ckptRound),
+		ckptStash:       make(map[types.SeqNum][]*types.CkptVote),
 	}
 }
 
@@ -423,6 +448,12 @@ func (n *Node) Init(now time.Duration) []consensus.Effect {
 	}
 	if n.syncing {
 		effs = append(effs, consensus.SetTimer{Kind: TimerSync, Key: n.syncToken, Delay: n.cfg.SyncTimeout})
+	}
+	// Open checkpoint rounds lost their in-flight votes with the old
+	// process: re-broadcast our own (stored) vote so peers that missed it
+	// can still close the certificate. Ascending seq order, RNG-silent.
+	for _, seq := range n.sortedCkptRounds() {
+		effs = append(effs, consensus.Broadcast{Msg: n.ckptRounds[seq].vote})
 	}
 	// An interrupted inspection lost its ConfVC timer; drop it and let the
 	// re-armed complaint timers below trigger a fresh one if still needed.
@@ -538,6 +569,10 @@ func (n *Node) OnMessage(now time.Duration, from consensus.Origin, msg types.Mes
 		return n.onCmtReply(now, m)
 	case *types.TxBlockMsg:
 		return n.onTxBlock(now, m)
+
+	// Checkpoints.
+	case *types.CkptVote:
+		return n.onCkptVote(now, m)
 
 	// Sync.
 	case *types.SyncReq:

@@ -504,6 +504,7 @@ func (n *Node) applyCommittedPrefix() []consensus.Effect {
 		msg.Sig = n.sign(msg.SigningBytes())
 		effs = append(effs, consensus.Broadcast{Msg: msg})
 		effs = append(effs, consensus.Commit{Block: committed})
+		effs = append(effs, n.maybeCheckpoint()...)
 	}
 }
 
@@ -525,6 +526,7 @@ func (n *Node) onTxBlock(now time.Duration, m *types.TxBlockMsg) []consensus.Eff
 	var effs []consensus.Effect
 	effs = append(effs, n.recordCommit(committed)...)
 	effs = append(effs, consensus.Commit{Block: committed})
+	effs = append(effs, n.maybeCheckpoint()...)
 	// The next proposal may be waiting in the out-of-order buffer.
 	effs = append(effs, n.drainOrdStash(now, committed.Header.N+1)...)
 	return effs

@@ -64,18 +64,24 @@ func (n *Node) replaySyncStash(now time.Duration) []consensus.Effect {
 	return effs
 }
 
-// onSyncReq serves a peer's block request from the local chains.
+// onSyncReq serves a peer's block request from the local chains. When the
+// requester's gap starts below our log base — the history it wants was
+// compacted away — the response carries the certified snapshot plus only the
+// retained tail: the snapshot sync handshake of DESIGN.md §10.
 func (n *Node) onSyncReq(now time.Duration, m *types.SyncReq) []consensus.Effect {
 	resp := &types.SyncResp{From: n.cfg.ID, Kind: m.Kind}
 	switch m.Kind {
 	case types.SyncTx:
+		if types.SeqNum(m.Start) < n.store.LogBase() {
+			resp.Snapshot = n.store.SnapshotPackage()
+		}
 		resp.TxBlocks = n.store.TxRange(types.SeqNum(m.Start+1), types.SeqNum(m.End))
 	case types.SyncVc:
 		resp.VcBlocks = n.store.VcRangeAfter(types.View(m.Start), types.View(m.End))
 	default:
 		return nil
 	}
-	if len(resp.TxBlocks) == 0 && len(resp.VcBlocks) == 0 {
+	if len(resp.TxBlocks) == 0 && len(resp.VcBlocks) == 0 && resp.Snapshot == nil {
 		return nil
 	}
 	return []consensus.Effect{consensus.Send{To: m.From, Msg: resp}}
@@ -99,6 +105,24 @@ func (n *Node) onSyncResp(now time.Duration, m *types.SyncResp) []consensus.Effe
 			break // chain mismatch; stop adopting
 		}
 		effs = append(effs, n.trace(consensus.TraceViewInstalled, blk.V, int64(blk.LeaderID)))
+		effs = append(effs, n.retryDeferredCheckpoint()...)
+	}
+	// Snapshot catch-up: our gap starts below the peer's log base, so the
+	// response carries the certified checkpoint state instead of the pruned
+	// blocks. Install it (every component verifies against the certificate
+	// or its own QCs — ledger.Store.InstallSnapshot), then replay only the
+	// retained tail below: O(CheckpointInterval) instead of O(history).
+	if m.Snapshot != nil && m.Snapshot.Cert.Header.Seq > n.store.TxHeight() {
+		if err := n.store.InstallSnapshot(n.cfg.Registry, m.Snapshot); err == nil {
+			n.afterSnapshotInstall()
+			effs = append(effs, n.trace(consensus.TraceSnapshotInstall, n.View(), int64(n.store.LogBase())))
+		} else {
+			// A rejected snapshot (bad certificate, tampered state, or a
+			// state machine that cannot restore) would otherwise wedge this
+			// replica in a silent re-sync loop — the tail below cannot
+			// chain onto our stale tip. Surface it to trace observers.
+			effs = append(effs, n.trace(consensus.TraceSnapshotReject, n.View(), int64(m.Snapshot.Cert.Header.Seq)))
+		}
 	}
 	for i := range m.TxBlocks {
 		blk := m.TxBlocks[i]
@@ -110,6 +134,7 @@ func (n *Node) onSyncResp(now time.Duration, m *types.SyncResp) []consensus.Effe
 		}
 		effs = append(effs, n.recordCommit(n.store.LatestTxBlock())...)
 		effs = append(effs, consensus.Commit{Block: n.store.LatestTxBlock()})
+		effs = append(effs, n.maybeCheckpoint()...)
 	}
 	// If vcBlocks advanced our view, reset per-view state: any campaign we
 	// were running is obsolete (a redeemer/candidate discovering a higher

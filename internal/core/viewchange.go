@@ -513,6 +513,7 @@ func (n *Node) onVcYes(now time.Duration, m *types.VcYes) []consensus.Effect {
 		n.trace(consensus.TraceElected, blk.V, n.campRP),
 		n.trace(consensus.TraceRPChange, blk.V, n.campRP),
 	)
+	effs = append(effs, n.retryDeferredCheckpoint()...)
 	for _, ablk := range adopt {
 		effs = append(effs, n.adoptInstance(now, ablk)...)
 	}
@@ -669,6 +670,7 @@ func (n *Node) onVcBlock(now time.Duration, m *types.VcBlockMsg) []consensus.Eff
 		n.trace(consensus.TraceViewInstalled, blk.V, int64(blk.LeaderID)),
 		n.trace(consensus.TraceRPChange, blk.V, blk.RP[n.cfg.ID]),
 	)
+	effs = append(effs, n.retryDeferredCheckpoint()...)
 	return effs
 }
 

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"prestigebft/internal/types"
+)
+
+// This file declares the checkpoint sweep: late-joiner catch-up time and
+// peak retained-ledger size as a function of the checkpoint interval and of
+// how much history accumulates while the joiner is away. Without
+// checkpoints (interval 0) a rejoining replica replays the entire missed
+// history and every replica retains the full log, so both metrics grow
+// linearly with history; with certified checkpoints the joiner installs the
+// latest snapshot and replays only the retained tail, so catch-up time
+// stays flat and ledger size stays O(interval) no matter how much history
+// accumulated — the claim the committed BENCH trajectory pins run over run.
+
+// CheckpointHistories lists the away-time spans the sweep measures: the
+// history axis along which replay-based catch-up grows and snapshot-based
+// catch-up must stay flat.
+var CheckpointHistories = []time.Duration{2 * time.Second, 4 * time.Second, 8 * time.Second}
+
+// CheckpointIntervals lists the swept intervals; 0 is the no-compaction
+// baseline (full-history replay).
+var CheckpointIntervals = []int{0, 32}
+
+// measureCatchUp runs one sweep cell: warm a 4-server cluster up, crash
+// server 4, let the chain grow for `history`, recover it, and measure the
+// virtual time until its chain reaches the head height observed at the
+// moment of recovery. Also reports the blocks a healthy replica retained at
+// that moment (the compaction bound) and whether the joiner caught up via a
+// certified snapshot rather than replay.
+func measureCatchUp(label string, interval int, history time.Duration, seed int64) []Row {
+	c := NewCluster(Options{
+		N: 4, Clients: 8, BatchSize: 8, Seed: seed,
+		ClientTimeout:      500 * time.Millisecond,
+		CheckpointInterval: interval,
+	})
+	c.Start()
+	c.Run(2 * time.Second) // steady state before the outage
+	c.Crash(4)
+	c.Run(history)
+
+	head := types.SeqNum(0)
+	for i := 0; i < 3; i++ {
+		if h := c.Nodes[i].Store().TxHeight(); h > head {
+			head = h
+		}
+	}
+	retained := c.Nodes[0].Store().RetainedTxBlocks()
+	joinerStart := c.Nodes[3].Store().TxHeight()
+
+	c.Recover(4)
+	start := c.Now().ToDuration()
+	catchup := -1.0
+	const step = 25 * time.Millisecond
+	for el := time.Duration(0); el < 30*time.Second; el += step {
+		c.Run(step)
+		if c.Nodes[3].Store().TxHeight() >= head {
+			catchup = (c.Now().ToDuration() - start).Seconds() * 1000
+			break
+		}
+	}
+	return []Row{row(label,
+		"catchup_ms", catchup,
+		"gap_blocks", int(head-joinerStart),
+		"retained_blocks", retained,
+		"snapshot", c.Metrics.SnapshotInstalls,
+	)}
+}
+
+// checkpointGrid declares the (interval × history) sweep.
+func checkpointGrid(scale Scale) *Grid {
+	g := &Grid{
+		Name:  "Checkpoint sweep: catch-up time and ledger size vs interval (n=4)",
+		Notes: "ival0 replays full history (catchup_ms and retained_blocks grow with hist); ival>0 installs the certified snapshot (both flat at O(interval))",
+	}
+	intervals := CheckpointIntervals
+	histories := CheckpointHistories
+	if scale == Full {
+		intervals = []int{0, 8, 32, 128}
+		histories = append(histories, 16*time.Second)
+	}
+	for _, ival := range intervals {
+		for _, hist := range histories {
+			ival, hist := ival, hist
+			label := fmt.Sprintf("ival%d_hist%ds", ival, int(hist.Seconds()))
+			g.Specs = append(g.Specs, ExperimentSpec{
+				Label: label,
+				Measure: func(s *ExperimentSpec) []Row {
+					return measureCatchUp(s.Label, ival, hist, 400+int64(ival)+int64(hist.Seconds()))
+				},
+			})
+		}
+	}
+	g.Finalize = func(rows []Row) []Row {
+		// Flatness summary per interval: catch-up at the longest history
+		// over the shortest. Replay grows (ratio ≫ 1); snapshots stay flat.
+		byLabel := make(map[string]float64, len(rows))
+		for _, r := range rows {
+			byLabel[r.Label] = r.Values["catchup_ms"]
+		}
+		first, last := histories[0], histories[len(histories)-1]
+		for _, ival := range intervals {
+			lo := byLabel[fmt.Sprintf("ival%d_hist%ds", ival, int(first.Seconds()))]
+			hi := byLabel[fmt.Sprintf("ival%d_hist%ds", ival, int(last.Seconds()))]
+			if lo > 0 && hi > 0 {
+				rows = append(rows, row(
+					fmt.Sprintf("ival%d_catchup_growth_h%d_over_h%d", ival, int(last.Seconds()), int(first.Seconds())),
+					"x", hi/lo,
+				))
+			}
+		}
+		return rows
+	}
+	return g
+}
+
+// RunCheckpointSweep measures the checkpoint catch-up sweep.
+func RunCheckpointSweep(scale Scale) *Result {
+	return checkpointGrid(scale).Run()
+}

@@ -70,6 +70,10 @@ type Options struct {
 	// core.Config.PipelineDepth). Zero selects DefaultPipelineDepth, which
 	// itself defaults to the core default (8); 1 reproduces stop-and-wait.
 	PipelineDepth int
+	// CheckpointInterval enables certified checkpoints and log compaction
+	// every this many committed seqs (core.Config.CheckpointInterval).
+	// Zero disables checkpointing.
+	CheckpointInterval int
 
 	// Net configures the fabric; the zero value selects the paper's
 	// testbed profile (≤2 ms raw latency, 400 MB/s links).
@@ -246,18 +250,19 @@ func NewCluster(opts Options) *Cluster {
 		var node *core.Node
 		if o.Protocol == PrestigeBFT {
 			cfg := core.Config{
-				ID:               id,
-				N:                o.N,
-				Keys:             serverKeys[id],
-				Registry:         reg,
-				BatchSize:        o.BatchSize,
-				PipelineDepth:    o.PipelineDepth,
-				TimeoutMin:       o.TimeoutMin,
-				TimeoutMax:       o.TimeoutMax,
-				ViewPolicy:       o.ViewPolicy,
-				RefreshThreshold: o.RefreshThreshold,
-				PuzzleBitsPerRP:  -1, // simulation: difficulty enforced by the time model
-				RNG:              nodeRNG,
+				ID:                 id,
+				N:                  o.N,
+				Keys:               serverKeys[id],
+				Registry:           reg,
+				BatchSize:          o.BatchSize,
+				PipelineDepth:      o.PipelineDepth,
+				CheckpointInterval: o.CheckpointInterval,
+				TimeoutMin:         o.TimeoutMin,
+				TimeoutMax:         o.TimeoutMax,
+				ViewPolicy:         o.ViewPolicy,
+				RefreshThreshold:   o.RefreshThreshold,
+				PuzzleBitsPerRP:    -1, // simulation: difficulty enforced by the time model
+				RNG:                nodeRNG,
 			}
 			if o.StateMachine != nil {
 				cfg.StateMachine = o.StateMachine()

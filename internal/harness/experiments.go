@@ -676,18 +676,19 @@ func RunFig4c() *Result {
 
 // Experiments maps experiment names to runners for the bench CLI.
 var Experiments = map[string]func(Scale) *Result{
-	"fig4c":    func(Scale) *Result { return RunFig4c() },
-	"fig6":     RunFig6,
-	"peak":     RunPeak,
-	"fig7":     RunFig7,
-	"fig8":     RunFig8,
-	"fig9":     RunFig9,
-	"fig10":    RunFig10,
-	"fig11":    RunFig11,
-	"fig12":    func(s Scale) *Result { return RunFig12(s) },
-	"fig13":    RunFig13,
-	"fig14":    RunFig14,
-	"pipeline": RunPipelineSweep,
+	"fig4c":      func(Scale) *Result { return RunFig4c() },
+	"fig6":       RunFig6,
+	"peak":       RunPeak,
+	"fig7":       RunFig7,
+	"fig8":       RunFig8,
+	"fig9":       RunFig9,
+	"fig10":      RunFig10,
+	"fig11":      RunFig11,
+	"fig12":      func(s Scale) *Result { return RunFig12(s) },
+	"fig13":      RunFig13,
+	"fig14":      RunFig14,
+	"pipeline":   RunPipelineSweep,
+	"checkpoint": RunCheckpointSweep,
 }
 
 func max(a, b int) int {

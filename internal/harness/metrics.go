@@ -48,6 +48,8 @@ type Metrics struct {
 	SplitVotes         int
 	Refreshes          int
 	SyncUps            int
+	Checkpoints        int
+	SnapshotInstalls   int
 
 	RPSeries map[types.ServerID][]RPPoint
 	Leaders  []LeaderPoint
@@ -96,6 +98,10 @@ func (m *Metrics) OnTrace(tr consensus.Trace) {
 		m.Refreshes++
 	case consensus.TraceSyncUp:
 		m.SyncUps++
+	case consensus.TraceCheckpoint:
+		m.Checkpoints++
+	case consensus.TraceSnapshotInstall:
+		m.SnapshotInstalls++
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"prestigebft/internal/types"
 )
@@ -85,6 +86,83 @@ func (s *KVStore) Get(key string) ([]byte, bool) {
 
 // Len returns the number of live keys.
 func (s *KVStore) Len() int { return len(s.data) }
+
+// SnapshotState implements Snapshotter: a canonical length-prefixed binary
+// encoding — applied count, entry count, then every entry in ascending key
+// order. Identical states encode identically (checkpoint certificates hash
+// the encoding), and DecodeSnapshot rejects non-canonical inputs, so the
+// codec round-trips exactly in both directions.
+func (s *KVStore) SnapshotState() []byte {
+	keys := make([]string, 0, len(s.data))
+	size := 8 + 4
+	for k := range s.data {
+		keys = append(keys, k)
+		size += 2 + len(k) + 4 + len(s.data[k])
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(s.Applied))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.data[k])))
+		buf = append(buf, s.data[k]...)
+	}
+	return buf
+}
+
+// RestoreState implements Snapshotter, replacing the store's contents.
+func (s *KVStore) RestoreState(data []byte) error {
+	applied, m, err := DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	s.Applied = applied
+	s.data = m
+	return nil
+}
+
+// DecodeSnapshot parses a payload produced by SnapshotState. It enforces
+// canonical form — strictly ascending keys, exact entry count, no trailing
+// bytes — so every accepted payload re-encodes byte-identically.
+func DecodeSnapshot(data []byte) (applied int, m map[string][]byte, err error) {
+	if len(data) < 12 {
+		return 0, nil, fmt.Errorf("kv snapshot too short: %d bytes", len(data))
+	}
+	applied = int(binary.BigEndian.Uint64(data[:8]))
+	count := int(binary.BigEndian.Uint32(data[8:12]))
+	rest := data[12:]
+	m = make(map[string][]byte, count)
+	prev := ""
+	for i := 0; i < count; i++ {
+		if len(rest) < 2 {
+			return 0, nil, fmt.Errorf("kv snapshot truncated at entry %d", i)
+		}
+		klen := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < klen+4 {
+			return 0, nil, fmt.Errorf("kv snapshot truncated key at entry %d", i)
+		}
+		key := string(rest[:klen])
+		rest = rest[klen:]
+		if i > 0 && key <= prev {
+			return 0, nil, fmt.Errorf("kv snapshot not canonical: key %q after %q", key, prev)
+		}
+		prev = key
+		vlen := int(binary.BigEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < vlen {
+			return 0, nil, fmt.Errorf("kv snapshot truncated value at entry %d", i)
+		}
+		m[key] = append([]byte(nil), rest[:vlen]...)
+		rest = rest[vlen:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("kv snapshot has %d trailing bytes", len(rest))
+	}
+	return applied, m, nil
+}
 
 // Equal reports whether two stores hold identical contents — used by tests
 // to check that all correct replicas converge to the same state.

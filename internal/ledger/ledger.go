@@ -10,6 +10,7 @@
 package ledger
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"prestigebft/internal/crypto"
@@ -26,6 +27,19 @@ type StateMachine interface {
 	Apply(tx *types.Transaction) bool
 }
 
+// Snapshotter is the optional StateMachine extension the checkpoint
+// subsystem needs: a canonical binary encoding of the full application state
+// (identical states must encode identically — checkpoint certificates hash
+// the encoding) and the inverse restore. State machines without it can still
+// replicate, but their ledgers can neither compact nor serve snapshots.
+type Snapshotter interface {
+	StateMachine
+	// SnapshotState returns the canonical encoding of the current state.
+	SnapshotState() []byte
+	// RestoreState replaces the current state with a decoded snapshot.
+	RestoreState(data []byte) error
+}
+
 // AcceptAll is a StateMachine that accepts every transaction and discards
 // its payload. It is the default for benchmarks.
 type AcceptAll struct{ Applied int }
@@ -33,12 +47,41 @@ type AcceptAll struct{ Applied int }
 // Apply implements StateMachine.
 func (s *AcceptAll) Apply(*types.Transaction) bool { s.Applied++; return true }
 
+// SnapshotState implements Snapshotter: the only state is the applied count.
+func (s *AcceptAll) SnapshotState() []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(s.Applied))
+	return buf[:]
+}
+
+// RestoreState implements Snapshotter.
+func (s *AcceptAll) RestoreState(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("acceptall snapshot: want 8 bytes, got %d", len(data))
+	}
+	s.Applied = int(binary.BigEndian.Uint64(data))
+	return nil
+}
+
 // Store holds both chains for one server. It is not safe for concurrent use;
 // each consensus node runs a single event loop (see internal/core).
+//
+// The txBlock chain is held as an anchor plus tail: txBlocks[0] is the block
+// at the log base (genesis until the first compaction, afterwards the latest
+// certified checkpoint's block) and txBlocks[i] the block at LogBase()+i.
+// Compaction moves the base up and drops everything below it; the pruned
+// prefix stays reachable to stale peers only through the certified snapshot
+// (InstallSnapshot / SnapshotPackage).
 type Store struct {
-	txBlocks []*types.TxBlock // index == sequence number; [0] is genesis
+	txBlocks []*types.TxBlock // [0] is the anchor at LogBase()
 	vcBlocks []*types.VcBlock // ordered by view; [0] is genesis (view 1)
 	vcByView map[types.View]int
+
+	// ckpt is the latest certified checkpoint (the log base's certificate)
+	// and ckptState the encoded application state it covers — retained so
+	// the store can serve snapshots to peers stuck below the base.
+	ckpt      *types.CheckpointCert
+	ckptState []byte
 
 	sm StateMachine
 	n  int // cluster size, for QC thresholds
@@ -74,12 +117,22 @@ func (s *Store) LatestTxBlock() *types.TxBlock { return s.txBlocks[len(s.txBlock
 // under the default "all blocks are useful" criterion).
 func (s *Store) TxHeight() types.SeqNum { return s.LatestTxBlock().Header.N }
 
-// TxBlock returns the block at sequence number n, or nil.
+// LogBase returns the sequence number of the anchor block: the lowest
+// retained sequence number. Zero (genesis) until the first compaction.
+func (s *Store) LogBase() types.SeqNum { return s.txBlocks[0].Header.N }
+
+// RetainedTxBlocks returns how many txBlocks the store currently holds
+// (anchor included) — the quantity compaction bounds.
+func (s *Store) RetainedTxBlocks() int { return len(s.txBlocks) }
+
+// TxBlock returns the block at sequence number n, or nil when n is above the
+// head or below the log base (compacted away).
 func (s *Store) TxBlock(n types.SeqNum) *types.TxBlock {
-	if int(n) >= len(s.txBlocks) {
+	base := s.LogBase()
+	if n < base || int(n-base) >= len(s.txBlocks) {
 		return nil
 	}
-	return s.txBlocks[n]
+	return s.txBlocks[n-base]
 }
 
 // AppendTxBlock validates and appends a committed txBlock, applying its
@@ -156,17 +209,19 @@ func (s *Store) ValidateTxBlockQCs(reg *crypto.Registry, b *types.TxBlock) error
 }
 
 // TxRange returns committed blocks with sequence numbers in [start, end],
-// clamped to the chain.
+// clamped to the retained chain (the anchor itself is excluded: peers below
+// the base catch up through the snapshot path, not block replay).
 func (s *Store) TxRange(start, end types.SeqNum) []types.TxBlock {
-	if start < 1 {
-		start = 1
+	base := s.LogBase()
+	if start <= base {
+		start = base + 1
 	}
-	if int(end) >= len(s.txBlocks) {
-		end = types.SeqNum(len(s.txBlocks) - 1)
+	if end > s.TxHeight() {
+		end = s.TxHeight()
 	}
 	var out []types.TxBlock
 	for n := start; n <= end; n++ {
-		out = append(out, *s.txBlocks[n])
+		out = append(out, *s.txBlocks[n-base])
 	}
 	return out
 }
@@ -260,6 +315,173 @@ func (s *Store) PenaltyHistory(id types.ServerID) []int64 {
 		out = append(out, b.RP[id])
 	}
 	return out
+}
+
+// --- Certified checkpoints (DESIGN.md §10) -----------------------------------
+
+// CheckpointBasis captures the checkpoint header for the CURRENT committed
+// height, together with the encoded application state it hashes. It must be
+// called at the exact height being checkpointed — the application state is a
+// moving target, so the caller (internal/core) invokes it the moment a
+// commit lands on an interval boundary. RepDigest is left for the caller to
+// fill from RepDigestUpTo, because the vc chain may briefly trail the tx
+// chain on sync-fed replicas. ok is false when the state machine cannot
+// snapshot itself.
+func (s *Store) CheckpointBasis() (types.CheckpointHeader, []byte, bool) {
+	snap, ok := s.sm.(Snapshotter)
+	if !ok {
+		return types.CheckpointHeader{}, nil, false
+	}
+	tip := s.LatestTxBlock()
+	state := snap.SnapshotState()
+	return types.CheckpointHeader{
+		Seq:       tip.Header.N,
+		View:      tip.Header.V,
+		BlockHash: tip.Hash(),
+		AppDigest: types.HashBytes(state),
+	}, state, true
+}
+
+// RepDigestUpTo returns the hash of the latest vcBlock with view ≤ v — the
+// reputation-input commitment of a checkpoint header. ok is false while
+// this replica's vc chain still trails v (the caller defers its checkpoint
+// vote until the chain catches up).
+//
+// The digest is computed over the block's CURRENT content, mutable rp/ci
+// included. For every closed view (one a successor extends) this is
+// convergent: AppendVcBlock validates the successor's PrevHash against the
+// stored predecessor's hash, which covers the reputation fragment, so any
+// replica holding the successor provably holds a byte-identical
+// predecessor — §4.2.5 refresh mutations must have propagated before the
+// chain could extend. Only the open latest view can transiently differ
+// across replicas (an Rdone still in flight); a checkpoint round straddling
+// that window may fail to reach 2f+1 matching hashes and simply lapses —
+// the next boundary retries against the converged fragment. A lapsed round
+// costs retained log, never safety.
+func (s *Store) RepDigestUpTo(v types.View) (types.Digest, bool) {
+	if s.CurrentView() < v {
+		return types.Digest{}, false
+	}
+	for i := len(s.vcBlocks) - 1; i >= 0; i-- {
+		if s.vcBlocks[i].V <= v {
+			return s.vcBlocks[i].Hash(), true
+		}
+	}
+	return types.Digest{}, false
+}
+
+// ValidateCheckpointCert checks a checkpoint certificate: well-formed ckpt_QC
+// over the header's state hash at the 2f+1 threshold.
+func (s *Store) ValidateCheckpointCert(reg *crypto.Registry, c *types.CheckpointCert) error {
+	qc := &c.QC
+	if qc.Kind != types.QCCheckpoint || qc.View != 0 || qc.Seq != c.Header.Seq ||
+		qc.Digest != c.Header.StateHash() {
+		return fmt.Errorf("checkpoint %d: malformed ckpt_QC", c.Header.Seq)
+	}
+	if err := reg.VerifyQC(qc, types.QuorumSize(s.n)); err != nil {
+		return fmt.Errorf("checkpoint %d: %w", c.Header.Seq, err)
+	}
+	return nil
+}
+
+// Certify installs an assembled checkpoint certificate together with the
+// application state captured when its boundary committed (CheckpointBasis),
+// then prunes the log below the checkpoint. The certificate's block becomes
+// the new anchor; the certificate and state are retained so this store can
+// serve snapshots to peers stuck below the new base.
+func (s *Store) Certify(cert types.CheckpointCert, appState []byte) error {
+	seq := cert.Header.Seq
+	if s.ckpt != nil && seq <= s.ckpt.Header.Seq {
+		return nil // stale certificate; the base already moved past it
+	}
+	blk := s.TxBlock(seq)
+	if blk == nil {
+		return fmt.Errorf("checkpoint %d: block not retained (height %d, base %d)", seq, s.TxHeight(), s.LogBase())
+	}
+	if blk.Hash() != cert.Header.BlockHash {
+		return fmt.Errorf("checkpoint %d: certificate covers a different block", seq)
+	}
+	s.ckpt = &cert
+	s.ckptState = appState
+	s.CompactBefore(seq)
+	return nil
+}
+
+// Checkpoint returns the latest certified checkpoint, or nil.
+func (s *Store) Checkpoint() *types.CheckpointCert { return s.ckpt }
+
+// CompactBefore prunes every txBlock with sequence number strictly below
+// seq; seq becomes the log base (its block is kept as the anchor so chain
+// linkage, tip re-broadcast, and snapshot serving keep working). Returns the
+// number of blocks pruned. Callers must hold a certificate for seq — the
+// checkpoint subsystem only invokes this through Certify.
+func (s *Store) CompactBefore(seq types.SeqNum) int {
+	base := s.LogBase()
+	if seq <= base {
+		return 0
+	}
+	if seq > s.TxHeight() {
+		seq = s.TxHeight()
+	}
+	idx := int(seq - base)
+	tail := make([]*types.TxBlock, len(s.txBlocks)-idx)
+	copy(tail, s.txBlocks[idx:])
+	s.txBlocks = tail
+	return idx
+}
+
+// SnapshotPackage assembles the state-transfer payload for a peer whose gap
+// starts below the log base: the certificate, the anchor block, and the
+// encoded application state at the checkpoint. Nil when no checkpoint has
+// been certified yet.
+func (s *Store) SnapshotPackage() *types.SnapshotPackage {
+	if s.ckpt == nil || s.LogBase() != s.ckpt.Header.Seq {
+		return nil
+	}
+	return &types.SnapshotPackage{
+		Cert:     *s.ckpt,
+		Anchor:   *s.txBlocks[0],
+		AppState: append([]byte(nil), s.ckptState...),
+	}
+}
+
+// InstallSnapshot replaces this store's txBlock chain and application state
+// with a certified snapshot, after verifying every component: the ckpt_QC
+// (2f+1 signers over the state hash), the anchor block's own certificates
+// and its address against the header, and the state bytes against the
+// certified AppDigest. The vc chain is untouched — vcBlocks are synced
+// independently and are themselves self-certifying. The caller must only
+// install snapshots ahead of the current height.
+func (s *Store) InstallSnapshot(reg *crypto.Registry, pkg *types.SnapshotPackage) error {
+	cert := pkg.Cert
+	h := &cert.Header
+	if h.Seq <= s.TxHeight() {
+		return fmt.Errorf("snapshot %d not ahead of height %d", h.Seq, s.TxHeight())
+	}
+	if err := s.ValidateCheckpointCert(reg, &cert); err != nil {
+		return err
+	}
+	anchor := pkg.Anchor
+	if anchor.Header.N != h.Seq || anchor.Hash() != h.BlockHash {
+		return fmt.Errorf("snapshot %d: anchor block does not match certificate", h.Seq)
+	}
+	if err := s.ValidateTxBlockQCs(reg, &anchor); err != nil {
+		return fmt.Errorf("snapshot %d anchor: %w", h.Seq, err)
+	}
+	if types.HashBytes(pkg.AppState) != h.AppDigest {
+		return fmt.Errorf("snapshot %d: application state does not hash to the certified digest", h.Seq)
+	}
+	snap, ok := s.sm.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("snapshot %d: state machine cannot restore snapshots", h.Seq)
+	}
+	if err := snap.RestoreState(pkg.AppState); err != nil {
+		return fmt.Errorf("snapshot %d: %w", h.Seq, err)
+	}
+	s.txBlocks = []*types.TxBlock{&anchor}
+	s.ckpt = &cert
+	s.ckptState = append([]byte(nil), pkg.AppState...)
+	return nil
 }
 
 // --- Reputation snapshot -----------------------------------------------------

@@ -231,18 +231,19 @@ func New(o harness.Options, cfg Config) (*Env, error) {
 	for _, s := range e.servers {
 		id := s.id
 		nodeCfg := core.Config{
-			ID:               id,
-			N:                o.N,
-			Keys:             serverKeys[id],
-			Registry:         reg,
-			BatchSize:        o.BatchSize,
-			PipelineDepth:    o.PipelineDepth,
-			TimeoutMin:       o.TimeoutMin,
-			TimeoutMax:       o.TimeoutMax,
-			ViewPolicy:       o.ViewPolicy,
-			RefreshThreshold: o.RefreshThreshold,
-			PuzzleBitsPerRP:  cfg.PuzzleBitsPerRP,
-			RNG:              rand.New(rand.NewSource(o.Seed<<16 + int64(id))),
+			ID:                 id,
+			N:                  o.N,
+			Keys:               serverKeys[id],
+			Registry:           reg,
+			BatchSize:          o.BatchSize,
+			PipelineDepth:      o.PipelineDepth,
+			CheckpointInterval: o.CheckpointInterval,
+			TimeoutMin:         o.TimeoutMin,
+			TimeoutMax:         o.TimeoutMax,
+			ViewPolicy:         o.ViewPolicy,
+			RefreshThreshold:   o.RefreshThreshold,
+			PuzzleBitsPerRP:    cfg.PuzzleBitsPerRP,
+			RNG:                rand.New(rand.NewSource(o.Seed<<16 + int64(id))),
 		}
 		if o.StateMachine != nil {
 			nodeCfg.StateMachine = o.StateMachine()
@@ -694,9 +695,20 @@ func (e *Env) ChainHeight(id types.ServerID) (types.SeqNum, bool) {
 }
 
 // BlockHash reads the committed block hash at seq — the byte-for-byte
-// committed-prefix comparison point across live ledgers.
+// committed-prefix comparison point across live ledgers. ok is false for
+// blocks compacted below the server's certified log base.
 func (e *Env) BlockHash(id types.ServerID, seq types.SeqNum) (types.Digest, bool) {
-	return e.servers[id-1].node.Store().TxBlock(seq).Hash(), true
+	blk := e.servers[id-1].node.Store().TxBlock(seq)
+	if blk == nil {
+		return types.Digest{}, false
+	}
+	return blk.Hash(), true
+}
+
+// LedgerBlocks reads how many txBlocks the server retains — the quantity
+// checkpoint compaction bounds.
+func (e *Env) LedgerBlocks(id types.ServerID) (int, bool) {
+	return e.servers[id-1].node.Store().RetainedTxBlocks(), true
 }
 
 // Timing reports the live tolerances: liveness slack and stall margin.

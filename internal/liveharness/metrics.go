@@ -32,6 +32,8 @@ type metrics struct {
 	viewChanges int
 	elections   int
 	syncUps     int
+	checkpoints int
+	snapshots   int
 
 	latencies []time.Duration
 }
@@ -64,6 +66,10 @@ func (m *metrics) onTrace(tr consensus.Trace) {
 		m.elections++
 	case consensus.TraceSyncUp:
 		m.syncUps++
+	case consensus.TraceCheckpoint:
+		m.checkpoints++
+	case consensus.TraceSnapshotInstall:
+		m.snapshots++
 	}
 }
 
@@ -93,6 +99,8 @@ func (m *metrics) progress() scenario.Progress {
 		ViewChanges: m.viewChanges,
 		Elections:   m.elections,
 		SyncUps:     m.syncUps,
+		Checkpoints: m.checkpoints,
+		Snapshots:   m.snapshots,
 	}
 }
 

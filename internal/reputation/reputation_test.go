@@ -374,3 +374,79 @@ func TestCountUseful(t *testing.T) {
 		t.Errorf("len>=2 criterion: got %d, want 2", got)
 	}
 }
+
+// TestSnapshotBoundaryTable pins CalcRP at the boundary shapes the
+// checkpoint/compaction subsystem can feed it: empty penalty history, a
+// degenerate all-identical history (e.g. every epoch faulty at the same
+// penalty), and post-compaction snapshots, where the tx chain was pruned but
+// ti (the chain HEIGHT, not the retained block count) and the full vcBlock
+// penalty history keep flowing from the ledger untouched.
+func TestSnapshotBoundaryTable(t *testing.T) {
+	e := New()
+	cases := []struct {
+		name    string
+		newView types.View
+		snap    Snapshot
+		wantRP  int64
+		wantCI  int64
+		comp    bool
+	}{
+		{
+			// No history at all: δvc falls back to 0.5, and ti=ci=0 gives
+			// δtx=0 — the +1 penalization stands in full.
+			name:    "zero-history",
+			newView: 2,
+			snap:    Snapshot{V: 1, RP: 1, CI: 0, TI: 0, Penalties: nil},
+			wantRP:  2, wantCI: 0, comp: false,
+		},
+		{
+			// All-faulty epochs: every recorded penalty identical and high.
+			// σ=0 degenerates the z-score to 0 (δvc = 0.5); with no
+			// replication spent since the last compensation (ti == ci) the
+			// deduction is zero and the penalty keeps climbing.
+			name:    "all-faulty-epochs",
+			newView: 6,
+			snap:    Snapshot{V: 5, RP: 7, CI: 9, TI: 9, Penalties: []int64{7, 7, 7, 7, 7}},
+			wantRP:  8, wantCI: 9, comp: false,
+		},
+		{
+			// Same server, but it replicated since: δtx>0 recovers part of
+			// the increase even against the degenerate history.
+			name:    "all-faulty-epochs-with-replication",
+			newView: 6,
+			snap:    Snapshot{V: 5, RP: 7, CI: 9, TI: 36, Penalties: []int64{7, 7, 7, 7, 7}},
+			// temp=8, δtx=0.75, δvc=0.5 → δ=3 → rp=5, ci advances to ti.
+			wantRP: 5, wantCI: 36, comp: true,
+		},
+		{
+			// Post-compaction inputs: the log base moved to 30 and only a
+			// tail of blocks is retained, but ti is the chain height (34)
+			// and the penalty history still spans every view from genesis.
+			// The result must be identical to what an uncompacted replica
+			// computes — this is why checkpoint state hashes cover the
+			// reputation inputs.
+			name:    "post-compaction",
+			newView: 4,
+			snap:    Snapshot{V: 3, RP: 2, CI: 1, TI: 34, Penalties: []int64{1, 1, 2}},
+			// temp=3, δtx=33/34, δvc=1-sigmoid((2-4/3)/0.4714)≈0.1950 →
+			// δ≈0.5677 → floor 0 → rp=3, ci advances to 34.
+			wantRP: 3, wantCI: 34, comp: false,
+		},
+		{
+			// Genesis boot: the very first view change a fresh cluster sees.
+			name:    "genesis-first-campaign",
+			newView: 2,
+			snap:    Snapshot{V: 1, RP: 1, CI: 1, TI: 1, Penalties: []int64{1}},
+			wantRP:  2, wantCI: 1, comp: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := e.CalcRP(tc.newView, tc.snap)
+			if res.RP != tc.wantRP || res.CI != tc.wantCI || res.Compensated != tc.comp {
+				t.Fatalf("CalcRP(%d, %+v) = rp %d ci %d comp %v, want rp %d ci %d comp %v",
+					tc.newView, tc.snap, res.RP, res.CI, res.Compensated, tc.wantRP, tc.wantCI, tc.comp)
+			}
+		})
+	}
+}

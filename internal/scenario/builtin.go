@@ -139,6 +139,51 @@ func Builtin() []*Scenario {
 			},
 		},
 		{
+			Name:        "soak-compaction",
+			Description: "long-horizon soak with certified checkpoints: followers churn while the log is compacted every 16 blocks; every ledger must stay bounded (O(interval), not O(history)) and the committed prefix must survive compaction",
+			Opts: func() harness.Options {
+				o := smallCluster(4, 212)
+				o.CheckpointInterval = 16
+				return o
+			}(),
+			Span: 30 * time.Second,
+			Events: []Event{
+				{At: 3 * time.Second, Action: Crash{Server: 2}},
+				{At: 6 * time.Second, Action: Recover{Server: 2}},
+				{At: 9 * time.Second, Action: Crash{Server: 3}},
+				{At: 12 * time.Second, Action: Recover{Server: 3}},
+				{At: 15 * time.Second, Action: Crash{Server: 4}},
+				{At: 18 * time.Second, Action: Recover{Server: 4}},
+			},
+			Invariants: Invariants{
+				RecoverWithin:     8 * time.Second,
+				RequireCheckpoint: true,
+				MaxLedgerBlocks:   120,
+				CatchUpServer:     4,
+			},
+		},
+		{
+			Name:        "late-joiner-snapshot",
+			Description: "a follower goes dark while checkpoints compact the log past its height; on rejoin it must catch up by installing the certified snapshot (state + ckpt_QC) and replaying only the retained tail — O(interval), never the compacted history",
+			Opts: func() harness.Options {
+				o := smallCluster(4, 213)
+				o.CheckpointInterval = 8
+				return o
+			}(),
+			Span: 20 * time.Second,
+			Events: []Event{
+				{At: 2 * time.Second, Action: Crash{Server: 4}},
+				{At: 12 * time.Second, Action: Recover{Server: 4}},
+			},
+			Invariants: Invariants{
+				RecoverWithin:     5 * time.Second,
+				RequireSyncUp:     true,
+				RequireCheckpoint: true,
+				RequireSnapshot:   true,
+				CatchUpServer:     4,
+			},
+		},
+		{
 			Name:        "flaky-network",
 			Description: "gray failure: every link stays up but turns slow (+20±10 ms) and lossy (15% drops) for a window, then the fabric is restored",
 			Opts:        smallCluster(4, 206),

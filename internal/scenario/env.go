@@ -67,9 +67,14 @@ type Environment interface {
 	// replicas without a PrestigeBFT store).
 	ChainHeight(id types.ServerID) (h types.SeqNum, ok bool)
 	// BlockHash returns the hash of the committed block at seq on the
-	// given server, for committed-prefix safety comparison. ok mirrors
-	// ChainHeight.
+	// given server, for committed-prefix safety comparison. ok is false
+	// when the server has no readable ledger OR the block was compacted
+	// away below the server's certified log base (the certificate already
+	// proves prefix agreement there, so safety checking skips it).
 	BlockHash(id types.ServerID, seq types.SeqNum) (d types.Digest, ok bool)
+	// LedgerBlocks returns how many txBlocks the server currently retains —
+	// the quantity checkpoint compaction bounds. ok mirrors ChainHeight.
+	LedgerBlocks(id types.ServerID) (blocks int, ok bool)
 	// Timing returns the environment's measurement tolerances: slack
 	// multiplies liveness bounds (wall-clock runs pay scheduling and
 	// real-crypto overheads the simulator does not model), and margin
@@ -90,6 +95,11 @@ type Progress struct {
 	ViewChanges int
 	Elections   int
 	SyncUps     int
+	// Checkpoints counts assembled checkpoint certificates (log
+	// compactions); Snapshots counts certified-snapshot installations —
+	// catch-ups that skipped compacted history instead of replaying it.
+	Checkpoints int
+	Snapshots   int
 
 	// Msgs and Bytes aggregate fabric traffic (all endpoints).
 	Msgs  uint64

@@ -30,6 +30,8 @@ type Report struct {
 	ViewChanges int
 	Elections   int
 	SyncUps     int
+	Checkpoints int
+	Snapshots   int
 	Msgs        uint64
 	Bytes       uint64
 
@@ -65,6 +67,8 @@ func (r *Report) Row() harness.Row {
 	add("view_changes", float64(r.ViewChanges))
 	add("elections", float64(r.Elections))
 	add("sync_ups", float64(r.SyncUps))
+	add("checkpoints", float64(r.Checkpoints))
+	add("snapshots", float64(r.Snapshots))
 	add("msgs", float64(r.Msgs))
 	add("mbytes", float64(r.Bytes)/(1<<20))
 	return row

@@ -57,6 +57,18 @@ type Invariants struct {
 	// holds a quorum would reveal a quorum-intersection bug, the most
 	// serious safety defect a BFT protocol can have. Zero values skip it.
 	StallFrom, StallTo time.Duration
+	// RequireCheckpoint asserts at least one checkpoint certificate was
+	// assembled (the log compacted at least once).
+	RequireCheckpoint bool
+	// RequireSnapshot asserts at least one certified-snapshot installation
+	// happened: some replica's catch-up provably skipped compacted history
+	// instead of replaying it block-by-block.
+	RequireSnapshot bool
+	// MaxLedgerBlocks, when nonzero, bounds every readable server's
+	// retained txBlock count at the end of the run — the bounded-memory
+	// claim of checkpoint compaction. Servers below the bound's reach
+	// (crashed at the end) are still checked: their ledgers are readable.
+	MaxLedgerBlocks int
 }
 
 // Scenario is one declarative chaos workload.
@@ -327,6 +339,8 @@ func (s *Scenario) evaluate(env Environment, rep *Report) {
 	rep.ViewChanges = pr.ViewChanges
 	rep.Elections = pr.Elections
 	rep.SyncUps = pr.SyncUps
+	rep.Checkpoints = pr.Checkpoints
+	rep.Snapshots = pr.Snapshots
 	rep.Msgs = pr.Msgs
 	rep.Bytes = pr.Bytes
 	lastAt := s.lastEventAt()
@@ -379,6 +393,22 @@ func (s *Scenario) evaluate(env Environment, rep *Report) {
 	if inv.RequireSyncUp && rep.SyncUps == 0 {
 		rep.Violations = append(rep.Violations, "state transfer (SyncUp) never ran, but the scenario requires it")
 	}
+	if inv.RequireCheckpoint && rep.Checkpoints == 0 {
+		rep.Violations = append(rep.Violations, "no checkpoint certificate assembled, but the scenario requires log compaction")
+	}
+	if inv.RequireSnapshot && rep.Snapshots == 0 {
+		rep.Violations = append(rep.Violations, "no certified snapshot installed: catch-up replayed history instead of using the snapshot path")
+	}
+	if inv.MaxLedgerBlocks > 0 {
+		for i := 1; i <= env.N(); i++ {
+			id := types.ServerID(i)
+			if blocks, ok := env.LedgerBlocks(id); ok && blocks > inv.MaxLedgerBlocks {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("compaction: server %d retains %d txBlocks, bound is %d — the ledger is not bounded",
+						id, blocks, inv.MaxLedgerBlocks))
+			}
+		}
+	}
 	if id := inv.CatchUpServer; id != 0 {
 		var maxH types.SeqNum
 		for i := 1; i <= env.N(); i++ {
@@ -397,35 +427,45 @@ func (s *Scenario) evaluate(env Environment, rep *Report) {
 	}
 }
 
-// safetyViolations compares every replica's committed chain against the
-// first readable replica's over their common prefix. Agreement with a
-// shared reference implies pairwise agreement, so one pass suffices. The
-// comparison is hash-by-hash over committed blocks — on a live cluster
-// this is the byte-for-byte committed-prefix check across real ledgers.
+// safetyViolations checks that every pair of replicas agrees on the common
+// prefix of their committed chains, hash-by-hash — on a live cluster this
+// is the byte-for-byte committed-prefix check across real ledgers. At each
+// sequence number the first replica still retaining the block (compaction
+// prunes certified prefixes) is the reference for that seq; agreement with
+// a per-seq shared reference implies pairwise agreement among everyone who
+// retains it. Seqs nobody retains are skipped: a retained block above any
+// replica's log base always exists below the heads being compared, and the
+// pruned region itself is covered by its checkpoint certificate (2f+1
+// matching state hashes).
 func safetyViolations(env Environment) []string {
 	var out []string
-	ref := types.ServerID(0)
-	var refH types.SeqNum
+	var maxH types.SeqNum
 	for i := 1; i <= env.N(); i++ {
-		id := types.ServerID(i)
-		h, ok := env.ChainHeight(id)
-		if !ok {
-			continue
+		if h, ok := env.ChainHeight(types.ServerID(i)); ok && h > maxH {
+			maxH = h
 		}
-		if ref == 0 {
-			ref, refH = id, h
-			continue
-		}
-		limit := refH
-		if h < limit {
-			limit = h
-		}
-		for seq := types.SeqNum(1); seq <= limit; seq++ {
-			a, _ := env.BlockHash(ref, seq)
-			b, _ := env.BlockHash(id, seq)
-			if a != b {
-				out = append(out, fmt.Sprintf("safety: servers %d and %d committed conflicting blocks at seq %d", ref, id, seq))
-				break
+	}
+	// A replica is reported at most once, at its first divergent seq.
+	bad := make(map[types.ServerID]bool)
+	for seq := types.SeqNum(1); seq <= maxH; seq++ {
+		var ref types.Digest
+		refID := types.ServerID(0)
+		for i := 1; i <= env.N(); i++ {
+			id := types.ServerID(i)
+			if bad[id] {
+				continue
+			}
+			h, ok := env.BlockHash(id, seq)
+			if !ok {
+				continue // no ledger, above this replica's head, or compacted
+			}
+			if refID == 0 {
+				ref, refID = h, id
+				continue
+			}
+			if h != ref {
+				out = append(out, fmt.Sprintf("safety: servers %d and %d committed conflicting blocks at seq %d", refID, id, seq))
+				bad[id] = true
 			}
 		}
 	}

@@ -139,6 +139,8 @@ func (e *simEnv) Progress() Progress {
 		ViewChanges: e.c.Metrics.ViewChangesStarted,
 		Elections:   e.c.Metrics.Elections,
 		SyncUps:     e.c.Metrics.SyncUps,
+		Checkpoints: e.c.Metrics.Checkpoints,
+		Snapshots:   e.c.Metrics.SnapshotInstalls,
 		Msgs:        e.c.Net.Sent,
 		Bytes:       e.c.Net.Bytes,
 	}
@@ -167,7 +169,19 @@ func (e *simEnv) BlockHash(id types.ServerID, seq types.SeqNum) (types.Digest, b
 	if node == nil {
 		return types.Digest{}, false
 	}
-	return node.Store().TxBlock(seq).Hash(), true
+	blk := node.Store().TxBlock(seq)
+	if blk == nil {
+		return types.Digest{}, false // compacted below the log base
+	}
+	return blk.Hash(), true
+}
+
+func (e *simEnv) LedgerBlocks(id types.ServerID) (int, bool) {
+	node := e.c.Nodes[id-1]
+	if node == nil {
+		return 0, false
+	}
+	return node.Store().RetainedTxBlocks(), true
 }
 
 func (e *simEnv) Timing() (float64, time.Duration) { return 1, 0 }

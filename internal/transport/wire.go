@@ -43,6 +43,7 @@ func init() {
 		&types.Adopt{},
 		&types.CmtReply{},
 		&types.TxBlockMsg{},
+		&types.CkptVote{},
 		&types.SyncReq{},
 		&types.SyncResp{},
 	)

@@ -420,6 +420,29 @@ func (m *TxBlockMsg) SigningBytes() []byte {
 }
 func (m *TxBlockMsg) Signature() []byte { return m.Sig }
 
+// --- Certified checkpoints ---------------------------------------------------
+
+// CkptVote is one replica's signed checkpoint vote, broadcast when its
+// committed height crosses a Config.CheckpointInterval boundary. 2f+1 votes
+// over the same (Seq, StateHash) assemble ckpt_QC; the resulting certificate
+// authorizes pruning the log below Seq (DESIGN.md §10). The vote carries the
+// voter's StateHash so receivers can verify the signature immediately, but a
+// vote only ever counts toward a collector built over the receiver's own
+// locally computed state hash — a divergent hash simply never certifies.
+type CkptVote struct {
+	From      ServerID
+	Seq       SeqNum
+	StateHash Digest
+	Sig       []byte
+}
+
+func (m *CkptVote) Type() string  { return "CkptVote" }
+func (m *CkptVote) WireSize() int { return headerSize + 2 + 8 + 32 + sigSize }
+func (m *CkptVote) SigningBytes() []byte {
+	return QCStatementBytes(QCCheckpoint, 0, m.Seq, m.StateHash)
+}
+func (m *CkptVote) Signature() []byte { return m.Sig }
+
 // --- Log synchronization (SyncUp, §4.2.3) -----------------------------------
 
 // SyncKind selects which chain a SyncReq targets.
@@ -445,11 +468,18 @@ func (m *SyncReq) WireSize() int { return headerSize + 2 + 1 + 16 }
 
 // SyncResp returns the requested blocks. Blocks are self-certifying through
 // their QCs, so the response itself is unsigned.
+//
+// When the requester's gap starts below the responder's log base (the
+// history was compacted away), Snapshot carries the certified checkpoint
+// state instead of the pruned blocks, and TxBlocks holds only the retained
+// tail above the base: the requester installs the snapshot, then replays the
+// tail — O(CheckpointInterval) instead of O(history).
 type SyncResp struct {
 	From     ServerID
 	Kind     SyncKind
 	TxBlocks []TxBlock
 	VcBlocks []VcBlock
+	Snapshot *SnapshotPackage
 }
 
 func (m *SyncResp) Type() string { return "SyncResp" }
@@ -462,6 +492,12 @@ func (m *SyncResp) WireSize() int {
 	for i := range m.VcBlocks {
 		vb := VcBlockMsg{Block: m.VcBlocks[i]}
 		size += vb.WireSize()
+	}
+	if m.Snapshot != nil {
+		anchor := TxBlockMsg{Block: m.Snapshot.Anchor}
+		// Header digests + ckpt_QC (threshold-signature size) + anchor + state.
+		size += 8 + 8 + 3*32 + m.Snapshot.Cert.QC.WireSize() +
+			(anchor.WireSize() - headerSize - sigSize) + len(m.Snapshot.AppState)
 	}
 	return size
 }

@@ -95,6 +95,8 @@ const (
 	QCCommit
 	// QCRefresh authorizes a reputation refresh (rs_QC, threshold 2f+1).
 	QCRefresh
+	// QCCheckpoint certifies a state checkpoint (ckpt_QC, threshold 2f+1).
+	QCCheckpoint
 	// QCGeneric is used by baseline protocols for their phase certificates.
 	QCGeneric
 )
@@ -111,6 +113,8 @@ func (k QCKind) String() string {
 		return "commit_QC"
 	case QCRefresh:
 		return "rs_QC"
+	case QCCheckpoint:
+		return "ckpt_QC"
 	case QCGeneric:
 		return "generic_QC"
 	}
@@ -245,6 +249,61 @@ func (b *TxBlock) PredictedHash() Digest {
 	cp := *b
 	cp.CommitQC = QC{Kind: QCCommit, View: b.Header.V, Seq: b.Header.N, Digest: b.ContentDigest()}
 	return cp.Hash()
+}
+
+// --- Certified checkpoints (log compaction and snapshot catch-up) ----------
+
+// CheckpointHeader identifies one state checkpoint: the ledger state every
+// correct replica deterministically reaches after committing the chain
+// prefix through Seq. It binds the three inputs a recovered replica needs to
+// continue from the checkpoint — the chain anchor (BlockHash), the
+// application state (AppDigest), and the reputation inputs (RepDigest, the
+// address of the latest vcBlock at or below the anchor's view, which
+// transitively commits to every rp/ci fragment the prestige engine reads;
+// see ledger.Store.RepDigestUpTo for why this converges under §4.2.5
+// refreshes) — so 2f+1 matching StateHash votes certify all of them at once.
+type CheckpointHeader struct {
+	Seq       SeqNum // checkpointed sequence number
+	View      View   // Header.V of the txBlock at Seq
+	BlockHash Digest // address of the txBlock at Seq (the chain anchor)
+	AppDigest Digest // hash of the encoded application state after applying 1..Seq
+	RepDigest Digest // hash of the latest vcBlock with V ≤ View
+}
+
+// StateHash returns the canonical digest checkpoint votes sign (inside the
+// QCCheckpoint statement) and the certificate carries.
+func (h *CheckpointHeader) StateHash() Digest {
+	buf := make([]byte, 0, 8+8+32*3)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.Seq))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.View))
+	buf = append(buf, h.BlockHash[:]...)
+	buf = append(buf, h.AppDigest[:]...)
+	buf = append(buf, h.RepDigest[:]...)
+	return HashBytes(buf)
+}
+
+// CheckpointCert is a certified checkpoint: the header plus ckpt_QC — 2f+1
+// signatures over (QCCheckpoint, Seq, StateHash). Once assembled, the
+// certificate becomes the new log base: every block strictly below Seq can
+// be pruned, because any replica stuck below the base can be served the
+// certified snapshot instead of replayed history (DESIGN.md §10).
+type CheckpointCert struct {
+	Header CheckpointHeader
+	QC     QC
+}
+
+// IsZero reports whether the certificate is unset.
+func (c *CheckpointCert) IsZero() bool { return c.QC.IsZero() }
+
+// SnapshotPackage is the state-transfer payload of the snapshot sync path:
+// the certified checkpoint, the full anchor block at the checkpoint seq
+// (self-certifying through its own QCs; the retained tail chains from its
+// address), and the encoded application state whose hash the certificate
+// covers.
+type SnapshotPackage struct {
+	Cert     CheckpointCert
+	Anchor   TxBlock
+	AppState []byte
 }
 
 // --- vcBlock (Figure 3, left) --------------------------------------------
