@@ -5,13 +5,33 @@ GO ?= go
 # against the last committed BENCH_*.json.
 BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: build test vet bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke clean
+.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The determinism lint tool: the five internal/lint analyzers (maporder,
+# walltime, nogoroutine, wiremap, msgswitch) compiled into a vettool.
+LINT_TOOL := bin/prestige-lint
+
+# Build the tool and print its absolute path, so callers can run
+# `go vet -vettool=$$(make -s lint-tool) ./...` directly.
+lint-tool:
+	@$(GO) build -o $(LINT_TOOL) ./cmd/prestige-lint
+	@echo $(abspath $(LINT_TOOL))
+
+# The full lint gate CI runs: gofmt, standard vet, and the determinism
+# suite — over the whole module (./... covers internal/, cmd/, and
+# scripts/bench_compare alike).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then echo "gofmt needed on:" $$unformatted; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build -o $(LINT_TOOL) ./cmd/prestige-lint
+	$(GO) vet -vettool=$(abspath $(LINT_TOOL)) ./...
 
 test: vet
 	$(GO) test ./...
@@ -52,3 +72,4 @@ live-smoke:
 
 clean:
 	rm -f bench.json
+	rm -rf bin

@@ -71,6 +71,21 @@ func main() {
 	}
 	log.Printf("client %d listening on %s, driving %d servers for %v", cid, listen, *n, *duration)
 
+	// sendAll fires msg at every server. Individual send errors are expected
+	// under faults (up to f servers may be down); only total unreachability
+	// is worth surfacing.
+	sendAll := func(msg types.Message) {
+		failed := 0
+		for _, a := range addrs {
+			if err := tr.Send(strings.TrimSpace(a), msg); err != nil {
+				failed++
+			}
+		}
+		if failed == len(addrs) {
+			log.Printf("all %d sends failed; cluster unreachable?", failed)
+		}
+	}
+
 	var latencies []time.Duration
 	complaints := 0
 	deadline := time.Now().Add(*duration)
@@ -85,9 +100,7 @@ func main() {
 		prop := &types.Prop{Tx: tx, D: tx.Digest()}
 		prop.Sig = keys.Sign(prop.SigningBytes())
 		start := time.Now()
-		for _, a := range addrs {
-			tr.Send(strings.TrimSpace(a), prop)
-		}
+		sendAll(prop)
 	wait:
 		for {
 			select {
@@ -101,9 +114,7 @@ func main() {
 				complaints++
 				compt := &types.Compt{Prop: *prop}
 				compt.Sig = keys.Sign(compt.SigningBytes())
-				for _, a := range addrs {
-					tr.Send(strings.TrimSpace(a), compt)
-				}
+				sendAll(compt)
 				if time.Now().After(deadline) {
 					break wait
 				}

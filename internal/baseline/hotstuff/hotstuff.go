@@ -216,6 +216,9 @@ func (r *Replica) armTimers() []consensus.Effect {
 
 // OnMessage implements consensus.Replica.
 func (r *Replica) OnMessage(now time.Duration, from consensus.Origin, msg types.Message) []consensus.Effect {
+	// HotStuff speaks its own message set plus the client-facing and sync
+	// subset of the core vocabulary (see the harness contract).
+	//lint:dispatch local prestigebft/internal/types=Prop,Compt,SyncReq,SyncResp
 	switch m := msg.(type) {
 	case *types.Prop:
 		return r.onProp(now, m)

@@ -263,6 +263,9 @@ func (r *Replica) armTimers() []consensus.Effect {
 
 // OnMessage implements consensus.Replica.
 func (r *Replica) OnMessage(now time.Duration, from consensus.Origin, msg types.Message) []consensus.Effect {
+	// SBFT speaks its own message set plus the client-facing subset of the
+	// core vocabulary.
+	//lint:dispatch local prestigebft/internal/types=Prop,Compt
 	switch m := msg.(type) {
 	case *types.Prop:
 		return r.onProp(now, m)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"prestigebft/internal/consensus"
@@ -224,10 +223,5 @@ func (n *Node) afterSnapshotInstall() {
 // sortedCkptRounds returns the open rounds' seqs in ascending order, for
 // deterministic effect streams.
 func (n *Node) sortedCkptRounds() []types.SeqNum {
-	seqs := make([]types.SeqNum, 0, len(n.ckptRounds))
-	for seq := range n.ckptRounds {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	return seqs
+	return types.SortedKeys(n.ckptRounds)
 }

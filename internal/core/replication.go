@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"prestigebft/internal/consensus"
@@ -187,11 +186,7 @@ func (n *Node) dropWindow() []consensus.Effect {
 	if len(n.inflight) == 0 {
 		return nil
 	}
-	seqs := make([]types.SeqNum, 0, len(n.inflight))
-	for seq := range n.inflight {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	seqs := types.SortedKeys(n.inflight)
 	effs := make([]consensus.Effect, 0, len(seqs))
 	for _, seq := range seqs {
 		effs = append(effs, consensus.CancelTimer{Kind: TimerInstance, Key: uint64(seq)})

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"prestigebft/internal/consensus"
@@ -66,8 +65,11 @@ func (n *Node) onCompt(now time.Duration, from consensus.Origin, m *types.Compt)
 }
 
 // comptDigestByKey finds a tracked complaint digest matching a timer key.
+// Sorted iteration: timer keys are truncated digests, so a (vanishingly
+// rare) collision must still resolve to the same digest on every replica
+// and every replay.
 func (n *Node) comptDigestByKey(key uint64) (types.Digest, bool) {
-	for d := range n.comptSeen {
+	for _, d := range types.SortedDigestKeys(n.comptSeen) {
 		if timerKeyFromDigest(d) == key {
 			return d, true
 		}
@@ -379,16 +381,11 @@ func (n *Node) onCampVC(now time.Duration, m *types.CampVC) []consensus.Effect {
 // the committed tip that carry an ordering_QC — in ascending sequence order.
 func (n *Node) lockedSlots() []types.TxBlock {
 	height := n.store.TxHeight()
-	var seqs []types.SeqNum
-	for seq, p := range n.prepared {
-		if seq > height && !p.block.OrderingQC.IsZero() {
-			seqs = append(seqs, seq)
+	var out []types.TxBlock
+	for _, seq := range types.SortedKeys(n.prepared) {
+		if p := n.prepared[seq]; seq > height && !p.block.OrderingQC.IsZero() {
+			out = append(out, p.block)
 		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	out := make([]types.TxBlock, 0, len(seqs))
-	for _, seq := range seqs {
-		out = append(out, n.prepared[seq].block)
 	}
 	return out
 }
@@ -551,7 +548,8 @@ func (n *Node) buildAdoptionPlan() (adopt []*types.TxBlock, leftover []types.Pro
 		merged[seq] = b
 	}
 	height := n.store.TxHeight()
-	for seq, p := range n.prepared {
+	for _, seq := range types.SortedKeys(n.prepared) {
+		p := n.prepared[seq]
 		if seq <= height || p.block.OrderingQC.IsZero() {
 			continue
 		}
@@ -579,19 +577,14 @@ func (n *Node) buildAdoptionPlan() (adopt []*types.TxBlock, leftover []types.Pro
 	// (marked in pendingByDigest by adoptInstance) and against committed
 	// transactions via recordCommit's bookkeeping, so nothing commits twice.
 	rest := merged
-	for seq, p := range n.prepared {
+	for _, seq := range types.SortedKeys(n.prepared) {
 		if seq <= height || seq < next || rest[seq] != nil {
 			continue
 		}
-		cp := p.block
+		cp := n.prepared[seq].block
 		rest[seq] = &cp
 	}
-	seqs := make([]types.SeqNum, 0, len(rest))
-	for seq := range rest {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
+	for _, seq := range types.SortedKeys(rest) {
 		b := rest[seq]
 		for i := range b.Txs {
 			tx := b.Txs[i]
@@ -717,8 +710,8 @@ func (n *Node) enterView(now time.Duration, asLeader bool) []consensus.Effect {
 	// survive until their sequence number commits. Uncertified proposals die
 	// with their view as before.
 	kept := make(map[types.SeqNum]*pendingProposal)
-	for seq, p := range n.prepared {
-		if !p.block.OrderingQC.IsZero() {
+	for _, seq := range types.SortedKeys(n.prepared) {
+		if p := n.prepared[seq]; !p.block.OrderingQC.IsZero() {
 			kept[seq] = p
 		}
 	}

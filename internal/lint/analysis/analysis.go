@@ -1,0 +1,68 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, just large enough to host the
+// determinism lint suite (internal/lint/...). The repo builds offline, so it
+// cannot vendor x/tools; the subset here — an Analyzer with a Run function
+// over a type-checked Pass that reports position-anchored Diagnostics — is
+// API-compatible in spirit, and cmd/prestige-lint drives it through the same
+// `go vet -vettool` unit-checker protocol the real multichecker uses, so a
+// future migration to x/tools is a mechanical import swap.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression comments.
+	Name string
+
+	// Doc is the one-paragraph description shown by `prestige-lint -help`.
+	Doc string
+
+	// Flags holds analyzer-specific configuration. The driver registers each
+	// flag as `-<analyzer>.<flag>` on its own flag set.
+	Flags flag.FlagSet
+
+	// Run applies the check to a single type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns suppression filtering
+	// and output formatting; analyzers just report everything they find.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsTestFile reports whether file was parsed from a _test.go file. The
+// determinism analyzers skip test files by default (each has a -tests flag):
+// tests routinely range over result maps to assert on every entry, or sleep
+// real time to exercise the live stack, without feeding the committed
+// benchmark trajectory.
+func IsTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,124 @@
+// Package directive parses the two comment directives understood by the
+// determinism lint suite:
+//
+//	//lint:allow <analyzer> <reason>
+//	//lint:dispatch <spec> [<spec>...]
+//
+// An allow directive suppresses diagnostics of the named analyzer on the
+// same line or the line directly below it, and MUST carry a non-empty
+// reason — an allow without a justification is itself a lint error, which
+// is how "zero unjustified suppressions" is enforced mechanically.
+//
+// A dispatch directive declares the wire-type set a message-dispatch type
+// switch must cover; its grammar is owned by the msgswitch analyzer (see
+// internal/lint/msgswitch).
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix    = "//lint:allow"
+	dispatchPrefix = "//lint:dispatch"
+)
+
+// Allow is one parsed `//lint:allow` directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	Line     int // line the directive comment starts on
+}
+
+// Problem is a malformed directive (missing analyzer or reason).
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Allows extracts every allow directive in file, together with problems for
+// malformed ones. Directives inside /* */ blocks are ignored: like all Go
+// tool directives, lint directives must be line comments.
+func Allows(fset *token.FileSet, file *ast.File) ([]Allow, []Problem) {
+	var allows []Allow
+	var problems []Problem
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, allowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:allowfoo — not ours
+			}
+			fields := strings.Fields(rest)
+			line := fset.Position(c.Pos()).Line
+			switch {
+			case len(fields) == 0:
+				problems = append(problems, Problem{Pos: c.Pos(),
+					Message: "malformed //lint:allow: missing analyzer name and reason"})
+			case len(fields) == 1:
+				problems = append(problems, Problem{Pos: c.Pos(),
+					Message: "unjustified //lint:allow " + fields[0] + ": a suppression must state its reason"})
+			default:
+				allows = append(allows, Allow{
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+					Pos:      c.Pos(),
+					Line:     line,
+				})
+			}
+		}
+	}
+	return allows, problems
+}
+
+// Dispatch returns the dispatch directive specs attached to the statement
+// starting at pos. A directive attaches when it sits on the statement's own
+// line, or above it separated only by comment lines (the conventional doc
+// comment position). ok is false when no directive is present.
+func Dispatch(fset *token.FileSet, file *ast.File, pos token.Pos) (specs []string, ok bool) {
+	line := fset.Position(pos).Line
+	commentLines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		start := fset.Position(cg.Pos()).Line
+		end := fset.Position(cg.End()).Line
+		for l := start; l <= end; l++ {
+			commentLines[l] = true
+		}
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, dispatchPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, dispatchPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			cline := fset.Position(c.Pos()).Line
+			if cline > line {
+				continue
+			}
+			attached := cline == line
+			if !attached && cline < line {
+				attached = true
+				for l := cline + 1; l < line; l++ {
+					if !commentLines[l] {
+						attached = false
+						break
+					}
+				}
+			}
+			if attached {
+				return strings.Fields(rest), true
+			}
+		}
+	}
+	return nil, false
+}

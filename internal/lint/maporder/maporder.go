@@ -1,0 +1,281 @@
+// Package maporder flags `range` statements over identity-keyed maps in
+// deterministic packages. Go randomizes map iteration order per run, so any
+// effect that escapes such a loop — message emission, RNG consumption, slice
+// append, timer arming — breaks byte-identical replay. PR 1 found three real
+// protocol bugs of exactly this shape by hand; this analyzer makes the rule
+// machine-checked.
+//
+// A flagged loop has three ways out:
+//
+//  1. iterate a sorted key slice (types.SortedDigestKeys / SortedServerIDs);
+//  2. restrict the body to an order-insensitive reduction the analyzer can
+//     prove (integer counters, per-key writes into another map, deletes);
+//  3. `//lint:allow maporder <reason>` when order provably cannot escape in
+//     a way the analyzer is too weak to see.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"prestigebft/internal/lint/analysis"
+	"prestigebft/internal/lint/detset"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range over digest/server/client-keyed maps in deterministic packages " +
+		"unless the loop body is a provably order-insensitive reduction",
+	Run: run,
+}
+
+var pkgs, keyPkg, keyTypes *string
+var tests *bool
+
+func init() {
+	pkgs = Analyzer.Flags.String("pkgs", detset.Deterministic, "comma-separated package prefixes the check applies to")
+	keyPkg = Analyzer.Flags.String("keypkg", "prestigebft/internal/types", "package defining the identity key types")
+	keyTypes = Analyzer.Flags.String("keytypes", "Digest,ServerID,ClientID,View,SeqNum", "identity key type names within -keypkg")
+	tests = Analyzer.Flags.Bool("tests", false, "also check _test.go files")
+}
+
+func run(pass *analysis.Pass) error {
+	if !detset.Match(*pkgs, pass.Pkg.Path()) {
+		return nil
+	}
+	keys := make(map[string]bool)
+	for _, k := range strings.Split(*keyTypes, ",") {
+		keys[strings.TrimSpace(k)] = true
+	}
+	for _, file := range pass.Files {
+		if !*tests && analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			keyName, ok := identityKeyedMap(pass.TypesInfo.TypeOf(rs.X), *keyPkg, keys)
+			if !ok {
+				return true
+			}
+			if orderInsensitiveBody(pass.TypesInfo, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over %s-keyed map in a deterministic package: iterate sorted keys "+
+					"(e.g. types.SortedDigestKeys) or keep the body an order-insensitive reduction",
+				keyName)
+			return true
+		})
+	}
+	return nil
+}
+
+// identityKeyedMap reports whether t (possibly behind pointers) is a map
+// keyed by one of the identity types, returning the key type's display name.
+func identityKeyedMap(t types.Type, keyPkgPath string, keys map[string]bool) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return "", false
+	}
+	named, ok := m.Key().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != keyPkgPath || !keys[obj.Name()] {
+		return "", false
+	}
+	return obj.Pkg().Name() + "." + obj.Name(), true
+}
+
+// orderInsensitiveBody reports whether the loop body is a reduction whose
+// final state is the same for every iteration order. The proof is syntactic
+// and deliberately conservative; the allowed forms are:
+//
+//   - integer counters: x++, x--, x += e, x -= e, x |= e, x &= e, x ^= e
+//     (floating-point accumulation is NOT allowed: float addition is not
+//     associative, so its rounding depends on iteration order);
+//   - boolean absorption: x = x || e, x = x && e;
+//   - per-key slot writes and updates: m2[k] = e or m2[k] op= e, where k is
+//     the range key variable and e reads no indexed state — each iteration
+//     touches a distinct slot exactly once, so even non-associative
+//     operators (float /=) cannot observe iteration order;
+//   - delete(m2, e);
+//   - if/else whose branches recursively satisfy the same rules;
+//   - continue (but not break or return, which make the set of processed
+//     elements order-dependent).
+//
+// Every expression involved must be effect-free: no calls (except len/cap/
+// min/max), no channel receives, no function literals.
+func orderInsensitiveBody(info *types.Info, rs *ast.RangeStmt) bool {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && rs.Tok == token.DEFINE {
+		keyObj = info.Defs[id]
+	}
+	return stmtsInsensitive(info, rs.Body.List, keyObj)
+}
+
+func stmtsInsensitive(info *types.Info, stmts []ast.Stmt, keyObj types.Object) bool {
+	for _, s := range stmts {
+		if !stmtInsensitive(info, s, keyObj) {
+			return false
+		}
+	}
+	return true
+}
+
+func stmtInsensitive(info *types.Info, s ast.Stmt, keyObj types.Object) bool {
+	switch s := s.(type) {
+	case *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.IncDecStmt:
+		return integerType(info.TypeOf(s.X)) && effectFree(info, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		if !effectFree(info, lhs) || !effectFree(info, rhs) {
+			return false
+		}
+		// Per-key slot write or update: m2[k] op= e. Each iteration touches a
+		// distinct slot exactly once, so ANY operator is order-insensitive —
+		// even float division — provided e cannot read slots written by other
+		// iterations (conservatively: e contains no indexing at all).
+		if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+			if id, ok := ix.Index.(*ast.Ident); ok && info.Uses[id] == keyObj && indexFree(rhs) {
+				return true
+			}
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return integerType(info.TypeOf(lhs))
+		case token.ASSIGN:
+			// Boolean absorption: x = x || e, x = x && e.
+			if be, ok := rhs.(*ast.BinaryExpr); ok && (be.Op == token.LOR || be.Op == token.LAND) {
+				if lid, ok := lhs.(*ast.Ident); ok {
+					if rid, ok := be.X.(*ast.Ident); ok && info.Uses[rid] == info.ObjectOf(lid) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		return false
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, a := range call.Args {
+					if !effectFree(info, a) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || !effectFree(info, s.Cond) {
+			return false
+		}
+		if !stmtsInsensitive(info, s.Body.List, keyObj) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return stmtsInsensitive(info, e.List, keyObj)
+		case *ast.IfStmt:
+			return stmtInsensitive(info, e, keyObj)
+		}
+		return false
+	}
+	return false
+}
+
+// indexFree reports whether e contains no index expression — the cheap way
+// to prove a slot-update rhs cannot read back what other iterations wrote.
+func indexFree(e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			free = false
+			return false
+		}
+		return free
+	})
+	return free
+}
+
+func integerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// effectFree reports whether evaluating e cannot have side effects and does
+// not call user code: no calls except the pure builtins, no receives, no
+// function literals.
+func effectFree(info *types.Info, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !pureBuiltinCall(info, n) {
+				pure = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}
+
+func pureBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	// Type conversions are pure (their operands are walked separately).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	switch id.Name {
+	case "len", "cap", "min", "max":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+// Package msgswitch checks that message-dispatch type switches are
+// exhaustive over their declared wire-type set, so a newly added protocol
+// message cannot silently fall through a replica's OnMessage and be dropped.
+//
+// A dispatch switch is a type switch over the dispatch interface (default
+// prestigebft/internal/types.Message) inside a method named OnMessage that
+// has no `default` clause — exactly the shape where an unhandled message
+// vanishes without a trace. (A switch WITH a default clause handles unknown
+// types explicitly and is exempt.)
+//
+// Every dispatch switch must declare the wire set it promises to cover with
+// a directive directly above it:
+//
+//	//lint:dispatch prestigebft/internal/types
+//	    every exported implementer of the interface in that package
+//	//lint:dispatch local
+//	    every exported implementer declared in the switch's own package
+//	//lint:dispatch prestigebft/internal/types=Prop,Compt
+//	    exactly the named implementers from that package
+//
+// Specs combine (space-separated), e.g. a baseline replica that speaks its
+// own messages plus the client-facing subset of the core set:
+//
+//	//lint:dispatch local prestigebft/internal/types=Prop,Compt
+//
+// The declared set is then checked both ways: a case type missing from the
+// switch is an error, and a directive naming a type that does not exist or
+// does not implement the interface is an error (catching typos and removals).
+package msgswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"prestigebft/internal/lint/analysis"
+	"prestigebft/internal/lint/directive"
+)
+
+// Analyzer is the msgswitch pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "msgswitch",
+	Doc: "checks message-dispatch type switches in OnMessage are exhaustive over the " +
+		"//lint:dispatch-declared wire-type set",
+	Run: run,
+}
+
+var ifaceName, methodName *string
+
+func init() {
+	ifaceName = Analyzer.Flags.String("iface", "prestigebft/internal/types.Message",
+		"fully-qualified dispatch interface")
+	methodName = Analyzer.Flags.String("method", "OnMessage",
+		"method name whose type switches are dispatch switches")
+}
+
+func run(pass *analysis.Pass) error {
+	iface := resolveInterface(pass.Pkg, *ifaceName)
+	if iface == nil {
+		return nil // package doesn't link against the dispatch interface
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != *methodName || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSwitchStmt)
+				if !ok {
+					return true
+				}
+				checkSwitch(pass, file, iface, ts)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkSwitch validates one type switch inside an OnMessage body.
+func checkSwitch(pass *analysis.Pass, file *ast.File, iface *types.Interface, ts *ast.TypeSwitchStmt) {
+	subj := switchSubject(ts)
+	if subj == nil {
+		return
+	}
+	st := pass.TypesInfo.TypeOf(subj)
+	if st == nil || !types.Identical(st, ifaceNamedType(pass.Pkg, *ifaceName)) {
+		return
+	}
+	// A default clause handles unknown messages explicitly: exempt.
+	for _, clause := range ts.Body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			return
+		}
+	}
+
+	specs, ok := directive.Dispatch(pass.Fset, file, ts.Pos())
+	if !ok {
+		pass.Reportf(ts.Pos(), "message dispatch switch must declare its wire set with a "+
+			"//lint:dispatch directive (see internal/lint/msgswitch)")
+		return
+	}
+
+	required := make(map[*types.TypeName]bool)
+	for _, spec := range specs {
+		addSpec(pass, iface, ts, spec, required)
+	}
+	if len(required) == 0 {
+		return // spec errors already reported
+	}
+
+	covered := make(map[*types.TypeName]bool)
+	for _, clause := range ts.Body.List {
+		cc := clause.(*ast.CaseClause)
+		for _, e := range cc.List {
+			t := pass.TypesInfo.TypeOf(e)
+			if tn := namedTypeName(t); tn != nil {
+				covered[tn] = true
+			}
+		}
+	}
+
+	var missing []string
+	for tn := range required {
+		if !covered[tn] {
+			missing = append(missing, "*"+tn.Pkg().Name()+"."+tn.Name())
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		pass.Reportf(ts.Pos(), "dispatch switch not exhaustive over its declared wire set: "+
+			"missing %s — an unhandled message silently falls through", strings.Join(missing, ", "))
+	}
+}
+
+// addSpec resolves one //lint:dispatch spec into required type names.
+func addSpec(pass *analysis.Pass, iface *types.Interface, ts *ast.TypeSwitchStmt, spec string, required map[*types.TypeName]bool) {
+	pkgPath, names, hasNames := strings.Cut(spec, "=")
+	var scopePkg *types.Package
+	if pkgPath == "local" {
+		scopePkg = pass.Pkg
+	} else {
+		scopePkg = findPackage(pass.Pkg, pkgPath)
+	}
+	if scopePkg == nil {
+		pass.Reportf(ts.Pos(), "//lint:dispatch names package %q, which this package does not import", pkgPath)
+		return
+	}
+	if !hasNames {
+		for _, tn := range implementers(scopePkg, iface) {
+			required[tn] = true
+		}
+		return
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		obj := scopePkg.Scope().Lookup(name)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			pass.Reportf(ts.Pos(), "//lint:dispatch names %s.%s, which is not a type in %s",
+				scopePkg.Name(), name, scopePkg.Path())
+			continue
+		}
+		if !implementsEither(tn.Type(), iface) {
+			pass.Reportf(ts.Pos(), "//lint:dispatch names %s.%s, which does not implement the dispatch interface",
+				scopePkg.Name(), name)
+			continue
+		}
+		required[tn] = true
+	}
+}
+
+// implementers returns the exported non-interface named types in pkg whose
+// value or pointer type implements iface, in declaration-scope name order.
+func implementers(pkg *types.Package, iface *types.Interface) []*types.TypeName {
+	var out []*types.TypeName
+	scope := pkg.Scope()
+	names := scope.Names() // already sorted
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		if types.IsInterface(tn.Type()) {
+			continue
+		}
+		if implementsEither(tn.Type(), iface) {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+func implementsEither(t types.Type, iface *types.Interface) bool {
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// switchSubject extracts the switched expression x from `switch v := x.(type)`
+// or `switch x.(type)`.
+func switchSubject(ts *ast.TypeSwitchStmt) ast.Expr {
+	switch a := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	}
+	return nil
+}
+
+// namedTypeName unwraps pointers and returns t's *types.TypeName, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// resolveInterface finds the named dispatch interface's underlying
+// *types.Interface from pkg or its transitive imports.
+func resolveInterface(pkg *types.Package, qualified string) *types.Interface {
+	t := ifaceNamedType(pkg, qualified)
+	if t == nil {
+		return nil
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
+}
+
+// ifaceNamedType returns the named type for "pkgpath.Name" visible from pkg.
+func ifaceNamedType(pkg *types.Package, qualified string) types.Type {
+	i := strings.LastIndex(qualified, ".")
+	if i < 0 {
+		return nil
+	}
+	path, name := qualified[:i], qualified[i+1:]
+	target := findPackage(pkg, path)
+	if target == nil {
+		return nil
+	}
+	tn, ok := target.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return tn.Type()
+}
+
+// findPackage locates path among pkg and its transitive imports.
+func findPackage(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

@@ -1,0 +1,108 @@
+// Package nogoroutine bans `go` statements and unguarded (blocking) channel
+// operations inside the serial consensus core. Replica state machines run
+// strictly one event at a time under the scheduler; a goroutine or a blocking
+// channel op there introduces OS-scheduler-dependent interleaving that no
+// seed can reproduce. Concurrency belongs to the sanctioned boundaries —
+// the harness worker pool and the TCP transport — which are outside the
+// checked package set.
+//
+// A channel operation counts as guarded only when it is the communication
+// clause of a `select` that has a `default` case (a non-blocking poll).
+// A `select` without `default` is itself flagged: it blocks.
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"prestigebft/internal/lint/analysis"
+	"prestigebft/internal/lint/detset"
+)
+
+// Analyzer is the nogoroutine pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc: "bans go statements and blocking channel operations in the serial consensus core; " +
+		"concurrency belongs to the harness worker pool and the transport",
+	Run: run,
+}
+
+var pkgs *string
+var tests *bool
+
+func init() {
+	pkgs = Analyzer.Flags.String("pkgs", detset.Serial, "comma-separated package prefixes the check applies to")
+	tests = Analyzer.Flags.Bool("tests", false, "also check _test.go files")
+}
+
+func run(pass *analysis.Pass) error {
+	if !detset.Match(*pkgs, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if !*tests && analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		// Channel ops that appear as a select's comm clause are covered at
+		// the select level: with a default case they are non-blocking polls
+		// (fine), without one the select itself is flagged once — either
+		// way the individual op must not re-report. Collect them first so
+		// the main walk can skip them.
+		guarded := make(map[ast.Node]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					if m != nil {
+						guarded[m] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in the serial consensus core: "+
+					"replica logic runs one event at a time under the scheduler")
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					pass.Reportf(n.Pos(), "blocking select in the serial consensus core: "+
+						"add a default case or move the concurrency behind the transport/harness boundary")
+				}
+			case *ast.SendStmt:
+				if !guarded[n] {
+					pass.Reportf(n.Pos(), "blocking channel send in the serial consensus core")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !guarded[n] {
+					pass.Reportf(n.Pos(), "blocking channel receive in the serial consensus core")
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in the serial consensus core: "+
+							"it blocks until the channel closes")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"prestigebft/internal/lint"
+)
+
+// runSrc type-checks one in-memory file as a serial-core package and runs
+// the full suite over it. The sources need no imports, which keeps these
+// tests independent of export data.
+func runSrc(t *testing.T, src string, strict bool) []lint.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("prestigebft/internal/core/lintfixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(fset, []*ast.File{f}, pkg, info, lint.Analyzers(), strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func messages(fs []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestSuppressionOnLineAbove(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+func spawn(f func()) {
+	//lint:allow nogoroutine fixture needs a goroutine on purpose
+	go f()
+}
+`, true)
+	if len(findings) != 0 {
+		t.Fatalf("expected suppression, got:\n%s", messages(findings))
+	}
+}
+
+func TestSuppressionOnSameLine(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+func spawn(f func()) {
+	go f() //lint:allow nogoroutine fixture needs a goroutine on purpose
+}
+`, true)
+	if len(findings) != 0 {
+		t.Fatalf("expected suppression, got:\n%s", messages(findings))
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotApply(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+func spawn(f func()) {
+	//lint:allow maporder wrong analyzer name
+	go f()
+}
+`, false)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "go statement") {
+		t.Fatalf("expected the go-statement finding to survive, got:\n%s", messages(findings))
+	}
+}
+
+func TestUnjustifiedAllowIsAFinding(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+func spawn(f func()) {
+	//lint:allow nogoroutine
+	go f()
+}
+`, true)
+	// The reason-less allow must not suppress, and must itself be reported.
+	var sawDiag, sawProblem bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "go statement") {
+			sawDiag = true
+		}
+		if strings.Contains(f.Message, "unjustified //lint:allow nogoroutine") {
+			sawProblem = true
+		}
+	}
+	if !sawDiag || !sawProblem {
+		t.Fatalf("expected surviving diagnostic plus unjustified-allow finding, got:\n%s", messages(findings))
+	}
+}
+
+func TestStaleAllowIsAFinding(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+//lint:allow nogoroutine nothing here to suppress
+var x = 1
+`, true)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "stale //lint:allow nogoroutine") {
+		t.Fatalf("expected exactly the stale-allow finding, got:\n%s", messages(findings))
+	}
+}
+
+func TestUnknownAnalyzerAllowIsAFinding(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+//lint:allow nosuchanalyzer reasons
+var x = 1
+`, true)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Fatalf("expected exactly the unknown-analyzer finding, got:\n%s", messages(findings))
+	}
+}
+
+func TestNonStrictLeavesDirectivesUnaudited(t *testing.T) {
+	findings := runSrc(t, `package fixture
+
+//lint:allow nogoroutine unused here, fine in single-analyzer runs
+var x = 1
+`, false)
+	if len(findings) != 0 {
+		t.Fatalf("non-strict run should not audit directives, got:\n%s", messages(findings))
+	}
+}

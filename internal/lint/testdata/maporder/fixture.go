@@ -1,0 +1,107 @@
+// Fixture for the maporder analyzer: flagged loops carry want annotations;
+// everything else is an order-insensitive reduction (or sorted iteration)
+// the analyzer must NOT flag.
+package fixture
+
+import "prestigebft/internal/types"
+
+func effectEscapes(m map[types.Digest]int, sink func(types.Digest)) {
+	for d := range m { // want `range over types\.Digest-keyed map`
+		sink(d)
+	}
+}
+
+func appendEscapes(m map[types.SeqNum]int) []types.SeqNum {
+	var out []types.SeqNum
+	for seq := range m { // want `range over types\.SeqNum-keyed map`
+		out = append(out, seq)
+	}
+	return out
+}
+
+func floatAccumulation(m map[types.ServerID]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over types\.ServerID-keyed map`
+		s += v // float addition is not associative: rounding depends on order
+	}
+	return s
+}
+
+func sortedIteration(m map[types.Digest]int, sink func(types.Digest)) {
+	for _, d := range types.SortedDigestKeys(m) {
+		sink(d)
+	}
+}
+
+func sortedKeys(m map[types.SeqNum]int, sink func(types.SeqNum)) {
+	for _, seq := range types.SortedKeys(m) {
+		sink(seq)
+	}
+}
+
+func integerSum(m map[types.ServerID]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func counting(m map[types.ServerID]int64) int {
+	count := 0
+	for _, v := range m {
+		if v > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+func boolAbsorption(m map[types.SeqNum]bool) bool {
+	any := false
+	for _, v := range m {
+		any = any || v
+	}
+	return any
+}
+
+func perKeyWrite(m map[types.ServerID]int64) map[types.ServerID]int64 {
+	out := make(map[types.ServerID]int64, len(m))
+	for id, v := range m {
+		out[id] = v * 2
+	}
+	return out
+}
+
+func perKeyCompound(m map[types.ServerID]float64, total int) {
+	for id := range m {
+		m[id] /= float64(total)
+	}
+}
+
+func perKeyReadBack(m, other map[types.ServerID]int64) {
+	for id := range m { // want `range over types\.ServerID-keyed map`
+		m[id] = other[id] // indexed read: could observe other iterations' writes
+	}
+}
+
+func deletion(m map[types.SeqNum]int, base types.SeqNum) {
+	for seq := range m {
+		if seq <= base {
+			delete(m, seq)
+		}
+	}
+}
+
+func justified(m map[types.View]int, sink func(types.View)) {
+	//lint:allow maporder fixture demonstrates a justified suppression
+	for v := range m {
+		sink(v)
+	}
+}
+
+func notIdentityKeyed(m map[string]int, sink func(string)) {
+	for s := range m {
+		sink(s)
+	}
+}

@@ -1,0 +1,51 @@
+// Fixture for the nogoroutine analyzer: goroutines and blocking channel
+// operations are flagged in the serial core; non-blocking polls
+// (select-with-default) are the only sanctioned channel use.
+package fixture
+
+func spawn(f func()) {
+	go f() // want `go statement in the serial consensus core`
+}
+
+func send(ch chan int) {
+	ch <- 1 // want `blocking channel send`
+}
+
+func recv(ch chan int) int {
+	return <-ch // want `blocking channel receive`
+}
+
+func blockingSelect(a, b chan int) int {
+	select { // want `blocking select`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func tryPush(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func drain(ch chan int) int {
+	sum := 0
+	for v := range ch { // want `range over channel`
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,40 @@
+// Fixture for the walltime analyzer: wall-clock observation and global
+// randomness are flagged; seeded generators and time values are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now observes the wall clock`
+	return time.Since(t0) // want `time\.Since observes the wall clock`
+}
+
+func sleeping() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep observes the wall clock`
+}
+
+func timer(f func()) {
+	time.AfterFunc(time.Second, f) // want `time\.AfterFunc observes the wall clock`
+}
+
+func globalRand() int {
+	return rand.Int() // want `rand\.Int draws from the process-global random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand\.Shuffle draws from the process-global random source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func seeded(seed int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63() // methods on a seeded *rand.Rand are fine
+}
+
+func timeValues(d time.Duration) time.Duration {
+	return d + time.Millisecond // Duration arithmetic never reads the clock
+}

@@ -1,0 +1,46 @@
+// Fixture for the wiremap analyzer: gob-registered types with reachable
+// map fields are flagged unless a canonical codec takes over the encoding.
+package fixture
+
+import "encoding/gob"
+
+type BadMsg struct {
+	Tallies map[string]int
+}
+
+type Inner struct {
+	Scores map[int]int
+}
+
+type NestedBad struct {
+	In    Inner
+	Items []Inner
+}
+
+// Canonical controls its own byte order, so its map never reaches gob.
+type Canonical struct {
+	Scores map[int]int
+}
+
+func (c Canonical) GobEncode() ([]byte, error) { return nil, nil }
+func (c *Canonical) GobDecode([]byte) error    { return nil }
+
+type GoodMsg struct {
+	C       Canonical
+	Name    string
+	private map[string]int // unexported: gob skips it
+}
+
+// Linked exercises the cycle guard: self-referential but map-free.
+type Linked struct {
+	Next *Linked
+	Val  int
+}
+
+func register() {
+	gob.Register(BadMsg{})    // want `carries map field fixture\.BadMsg\.Tallies`
+	gob.Register(NestedBad{}) // want `fixture\.NestedBad\.In\.Scores` `fixture\.NestedBad\.Items\[\]\.Scores`
+	gob.Register(GoodMsg{})
+	gob.Register(Linked{})
+	gob.RegisterName("bad", BadMsg{}) // want `carries map field fixture\.BadMsg\.Tallies`
+}

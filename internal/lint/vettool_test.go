@@ -1,0 +1,113 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prestigebft/internal/lint/linttest"
+)
+
+// TestVetToolGate is the end-to-end acceptance test for the lint gate: it
+// builds cmd/prestige-lint, assembles a throwaway module containing a copy
+// of internal/types plus a consensus-core file in the PR 1 shape (effects
+// escaping a digest-keyed map loop through types.SortedDigestKeys), and
+// runs real `go vet -vettool` over it. The sorted version must pass;
+// deleting the SortedDigestKeys call must fail the gate with a maporder
+// finding — which is exactly the regression the suite exists to catch.
+func TestVetToolGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet; skipped in -short mode")
+	}
+	root := linttest.RepoRoot(t)
+	tmp := t.TempDir()
+
+	tool := filepath.Join(tmp, "prestige-lint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/prestige-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building prestige-lint: %v\n%s", err, out)
+	}
+
+	// A throwaway module that reuses the real types package, so the fix
+	// site exercises the same SortedDigestKeys the production code calls.
+	mod := filepath.Join(tmp, "mod")
+	typesDir := filepath.Join(mod, "internal", "types")
+	coreDir := filepath.Join(mod, "internal", "core")
+	for _, d := range []string{typesDir, coreDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"),
+		[]byte("module prestigebft\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srcTypes, err := filepath.Glob(filepath.Join(root, "internal", "types", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range srcTypes {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(typesDir, filepath.Base(src)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const sorted = `package core
+
+import "prestigebft/internal/types"
+
+// Emit flushes pending digests in canonical order — the PR 1 fix shape.
+func Emit(pending map[types.Digest]int, send func(types.Digest)) {
+	for _, d := range types.SortedDigestKeys(pending) {
+		send(d)
+	}
+}
+`
+	// The same function with the SortedDigestKeys call deleted: effects now
+	// escape in randomized map order.
+	const unsorted = `package core
+
+import "prestigebft/internal/types"
+
+func Emit(pending map[types.Digest]int, send func(types.Digest)) {
+	for d := range pending {
+		send(d)
+	}
+}
+`
+
+	vet := func(src string) (string, error) {
+		if err := os.WriteFile(filepath.Join(coreDir, "core.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		return out.String(), err
+	}
+
+	if out, err := vet(sorted); err != nil {
+		t.Fatalf("gate must pass with SortedDigestKeys in place: %v\n%s", err, out)
+	}
+	out, err := vet(unsorted)
+	if err == nil {
+		t.Fatalf("gate must fail once SortedDigestKeys is deleted; it passed:\n%s", out)
+	}
+	if !strings.Contains(out, "maporder") || !strings.Contains(out, "types.Digest-keyed map") {
+		t.Fatalf("expected a maporder finding, got:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+// Package walltime bans wall-clock observation and global (process-seeded)
+// randomness in deterministic packages. Simulated time must come from the
+// sim.Scheduler (the `now` parameter threaded through every protocol entry
+// point), and randomness from a seeded per-node *rand.Rand — time.Now or the
+// global math/rand source would make two runs of the same seed diverge.
+//
+// Banned: time.Now/Since/Until/Sleep/After/AfterFunc/Tick/NewTimer/NewTicker
+// and every package-level math/rand (and math/rand/v2) function that draws
+// from the process-wide source. Constructing seeded generators —
+// rand.New(rand.NewSource(seed)) and friends — stays legal, as do
+// time.Duration/time.Time values themselves.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"prestigebft/internal/lint/analysis"
+	"prestigebft/internal/lint/detset"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "bans wall-clock reads (time.Now etc.) and global math/rand in deterministic packages; " +
+		"time comes from sim.Scheduler, randomness from seeded per-node RNGs",
+	Run: run,
+}
+
+var pkgs *string
+var tests *bool
+
+func init() {
+	pkgs = Analyzer.Flags.String("pkgs", detset.Deterministic, "comma-separated package prefixes the check applies to")
+	tests = Analyzer.Flags.Bool("tests", false, "also check _test.go files")
+}
+
+// bannedTime are the package time functions that observe or wait on the wall
+// clock.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the math/rand package-level functions that do NOT touch the
+// global source: constructors for explicitly seeded generators.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !detset.Match(*pkgs, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if !*tests && analysis.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Int63n) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"time.%s observes the wall clock in a deterministic package: "+
+							"take simulated time from the scheduler's `now` parameter", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"%s.%s draws from the process-global random source in a deterministic package: "+
+							"use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

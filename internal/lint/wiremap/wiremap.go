@@ -1,0 +1,166 @@
+// Package wiremap flags map-typed fields reachable from gob-registered wire
+// structs. encoding/gob serializes maps in Go's randomized iteration order,
+// so two encodings of the same value differ run to run — live-mode byte
+// accounting, payload hashing, and any cross-run wire comparison silently
+// lose reproducibility, and a map that one day feeds a signature or digest
+// becomes a protocol bug.
+//
+// A registered type escapes the check when it (or the nested struct holding
+// the map) implements a canonical codec — gob.GobEncoder/GobDecoder or
+// encoding.BinaryMarshaler/BinaryUnmarshaler — because gob then delegates to
+// the custom, order-controlled encoding. Fields gob cannot encode at all
+// (unexported) are ignored.
+package wiremap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"prestigebft/internal/lint/analysis"
+)
+
+// Analyzer is the wiremap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiremap",
+	Doc: "flags map-typed fields on gob-registered wire structs whose encoding order " +
+		"is nondeterministic; fix with a canonical GobEncode or a sorted slice",
+	Run: run,
+}
+
+var registerFns *string
+
+func init() {
+	registerFns = Analyzer.Flags.String("registerfns",
+		"encoding/gob.Register,encoding/gob.RegisterName,prestigebft/internal/transport.RegisterWireTypes",
+		"comma-separated fully-qualified functions whose arguments are wire types")
+}
+
+func run(pass *analysis.Pass) error {
+	fns := make(map[string]bool)
+	for _, f := range strings.Split(*registerFns, ",") {
+		fns[strings.TrimSpace(f)] = true
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || !fns[fn.Pkg().Path()+"."+fn.Name()] {
+				return true
+			}
+			args := call.Args
+			if fn.Name() == "RegisterName" && len(args) == 2 {
+				args = args[1:] // (name string, value any)
+			}
+			if call.Ellipsis.IsValid() {
+				return true // register(slice...) — contents not statically known
+			}
+			for _, arg := range args {
+				t := pass.TypesInfo.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				seen := make(map[*types.Named]bool)
+				findMaps(t, displayType(t), seen, func(fieldPath, mapType string) {
+					pass.Reportf(arg.Pos(),
+						"gob-registered wire type %s carries map field %s (%s): gob encodes maps "+
+							"in nondeterministic order; add a canonical GobEncode/GobDecode or use a sorted slice",
+						displayType(t), fieldPath, mapType)
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the static callee of call, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// findMaps walks the gob-encodable shape of t and reports every reachable
+// map field. It prunes at types with a custom canonical codec, at interfaces
+// (their dynamic types are checked at their own registration), and at
+// unexported fields (gob skips them).
+func findMaps(t types.Type, path string, seen map[*types.Named]bool, report func(fieldPath, mapType string)) {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		findMaps(tt.Elem(), path, seen, report)
+		return
+	case *types.Slice:
+		findMaps(tt.Elem(), path+"[]", seen, report)
+		return
+	case *types.Array:
+		findMaps(tt.Elem(), path+"[]", seen, report)
+		return
+	case *types.Map:
+		report(path, types.TypeString(tt, shortQualifier))
+		return
+	case *types.Named:
+		if seen[tt] {
+			return // cycle on the current path
+		}
+		if hasCanonicalCodec(tt) {
+			return
+		}
+		// The guard is path-local (backtracking), not global: the same
+		// named type reached through two different fields must report its
+		// maps under both paths.
+		seen[tt] = true
+		findMaps(tt.Underlying(), path, seen, report)
+		delete(seen, tt)
+		return
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			f := tt.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			fp := path + "." + f.Name()
+			if f.Embedded() {
+				fp = path + "." + f.Name() + " (embedded)"
+			}
+			findMaps(f.Type(), fp, seen, report)
+		}
+		return
+	}
+	// Basic types, interfaces, chans, funcs: nothing to walk.
+}
+
+// hasCanonicalCodec reports whether t provides a custom gob encoding that
+// controls its own byte order: GobEncode+GobDecode or
+// MarshalBinary+UnmarshalBinary on the value or pointer method set.
+func hasCanonicalCodec(t types.Type) bool {
+	has := func(name string) bool {
+		ms := types.NewMethodSet(types.NewPointer(t))
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	return (has("GobEncode") && has("GobDecode")) ||
+		(has("MarshalBinary") && has("UnmarshalBinary"))
+}
+
+// displayType renders t compactly (package name, not full path).
+func displayType(t types.Type) string {
+	return types.TypeString(t, shortQualifier)
+}
+
+func shortQualifier(p *types.Package) string { return p.Name() }

@@ -740,7 +740,10 @@ func (lc *liveClient) Now() time.Duration { return lc.env.scenarioNow() }
 // like a real client hammering a dead endpoint.
 func (lc *liveClient) Broadcast(msg types.Message) {
 	for _, s := range lc.env.servers {
-		lc.tr.Send(s.addr, msg)
+		// Send errors are part of the model here: a crashed server's dead
+		// listener refuses the dial and the client backs off, like any real
+		// client hammering a dead endpoint.
+		_ = lc.tr.Send(s.addr, msg)
 	}
 }
 

@@ -7,7 +7,6 @@ package quorum
 
 import (
 	"bytes"
-	"sort"
 
 	"prestigebft/internal/crypto"
 	"prestigebft/internal/types"
@@ -78,11 +77,7 @@ func (c *Collector) Matches(kind types.QCKind, view types.View, seq types.SeqNum
 
 // QC materializes the certificate. Signers are sorted for determinism.
 func (c *Collector) QC() types.QC {
-	ids := make([]types.ServerID, 0, len(c.signers))
-	for id := range c.signers {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := types.SortedKeys(c.signers)
 	sigs := make([][]byte, len(ids))
 	for i, id := range ids {
 		sigs[i] = c.signers[id]

@@ -154,8 +154,8 @@ func (s *Scenario) Validate() error {
 	}
 	wrapped := make(map[types.ServerID]bool)
 	byz := make(map[types.ServerID]bool)
-	for id, spec := range o.Faults {
-		if spec.IsFaulty() {
+	for _, id := range types.SortedKeys(o.Faults) {
+		if o.Faults[id].IsFaulty() {
 			wrapped[id] = true
 			byz[id] = true
 		}

@@ -10,10 +10,12 @@ package types
 
 import (
 	"bytes"
+	"cmp"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -60,6 +62,19 @@ func SortedDigestKeys[V any](m map[Digest]V) []Digest {
 	}
 	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
 	return ds
+}
+
+// SortedKeys returns m's keys in ascending order, for the ordered identity
+// key types (ServerID, ClientID, View, SeqNum, ...). Same contract as
+// SortedDigestKeys: deterministic packages iterate identity-keyed maps
+// through it whenever loop effects could leak iteration order.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
 }
 
 // Transaction is an opaque client request payload plus its provenance.

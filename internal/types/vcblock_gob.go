@@ -1,0 +1,87 @@
+package types
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+)
+
+// vcBlockWire is VcBlock's canonical gob shape. The RP and CI reputation
+// maps travel as sorted (id, value) column pairs: encoding/gob serializes
+// maps in Go's randomized iteration order, which would make two encodings
+// of the same block differ run to run — breaking live-mode byte accounting
+// and any cross-run wire comparison (the wiremap lint enforces this).
+type vcBlockWire struct {
+	V        View
+	LeaderID ServerID
+	PrevHash Digest
+	ConfQC   QC
+	VcQC     QC
+	RPIDs    []ServerID
+	RPVals   []int64
+	CIIDs    []ServerID
+	CIVals   []int64
+}
+
+func sortedColumns(m map[ServerID]int64) ([]ServerID, []int64) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	ids := SortedKeys(m)
+	vals := make([]int64, len(ids))
+	for i, id := range ids {
+		vals[i] = m[id]
+	}
+	return ids, vals
+}
+
+// GobEncode implements gob.GobEncoder with a canonical, order-stable
+// encoding of the reputation maps.
+func (b VcBlock) GobEncode() ([]byte, error) {
+	w := vcBlockWire{
+		V:        b.V,
+		LeaderID: b.LeaderID,
+		PrevHash: b.PrevHash,
+		ConfQC:   b.ConfQC,
+		VcQC:     b.VcQC,
+	}
+	w.RPIDs, w.RPVals = sortedColumns(b.RP)
+	w.CIIDs, w.CIVals = sortedColumns(b.CI)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, rebuilding the reputation maps from
+// the sorted columns.
+func (b *VcBlock) GobDecode(data []byte) error {
+	var w vcBlockWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.RPIDs) != len(w.RPVals) || len(w.CIIDs) != len(w.CIVals) {
+		return errors.New("types: VcBlock gob columns have mismatched lengths")
+	}
+	*b = VcBlock{
+		V:        w.V,
+		LeaderID: w.LeaderID,
+		PrevHash: w.PrevHash,
+		ConfQC:   w.ConfQC,
+		VcQC:     w.VcQC,
+	}
+	if len(w.RPIDs) > 0 {
+		b.RP = make(map[ServerID]int64, len(w.RPIDs))
+		for i, id := range w.RPIDs {
+			b.RP[id] = w.RPVals[i]
+		}
+	}
+	if len(w.CIIDs) > 0 {
+		b.CI = make(map[ServerID]int64, len(w.CIIDs))
+		for i, id := range w.CIIDs {
+			b.CI[id] = w.CIVals[i]
+		}
+	}
+	return nil
+}
