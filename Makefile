@@ -5,7 +5,7 @@ GO ?= go
 # against the last committed BENCH_*.json.
 BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke clean
+.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke fuzz fuzz-live clean
 
 build:
 	$(GO) build ./...
@@ -66,10 +66,24 @@ scenarios:
 scenarios-live:
 	$(GO) run ./cmd/prestige-bench -live -scenario all
 
-# The two fast live scenarios CI's live-smoke job replays per push.
+# The fast live scenarios CI's live-smoke job replays per push; "corpus"
+# expands to every committed regression under internal/scenario/corpus/.
 live-smoke:
-	$(GO) run ./cmd/prestige-bench -live -scenario leader-crash-midview,flaky-network -json live-verdicts.json
+	$(GO) run ./cmd/prestige-bench -live -scenario leader-crash-midview,flaky-network,corpus -json live-verdicts.json
+
+# Seeded chaos fuzzing: FUZZ_N random fault timelines on the sim; on a
+# violation the shrunk minimal reproduction lands in fuzz-failures/. To
+# replay a nightly CI failure, set FUZZ_SEED to the run's seed (printed in
+# the job log) — generation, execution, and shrinking are deterministic.
+FUZZ_N ?= 50
+FUZZ_SEED ?= 1
+fuzz:
+	$(GO) run ./cmd/prestige-bench -fuzz $(FUZZ_N) -fuzz-seed $(FUZZ_SEED)
+
+# The same generator against live loopback-TCP clusters (slow, sequential).
+fuzz-live:
+	$(GO) run ./cmd/prestige-bench -fuzz 5 -fuzz-seed $(FUZZ_SEED) -live
 
 clean:
 	rm -f bench.json
-	rm -rf bin
+	rm -rf bin fuzz-failures

@@ -1,0 +1,138 @@
+package main
+
+// The -fuzz mode: sample N random chaos timelines from a seed, run each as
+// an ordinary deterministic grid cell (or sequentially against a live TCP
+// cluster with -live), and on any invariant violation shrink the failing
+// timeline to a minimal reproducer and write it to -fuzz-out as a timeline
+// document ready to be committed into internal/scenario/corpus/. Exit
+// codes match the scenario runners: 0 clean, 1 violations (3 when a live
+// run saw a safety violation). DESIGN.md §12 documents the pipeline.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"prestigebft/internal/harness"
+	"prestigebft/internal/liveharness"
+	"prestigebft/internal/scenario"
+	"prestigebft/internal/scenario/fuzz"
+)
+
+// Shrink budgets: oracle re-runs per failing timeline. Sim cells are
+// hundreds of milliseconds, live cells tens of seconds, so the live budget
+// stays small — a live shrink is a convenience, not the workhorse (the
+// nightly sim sweep is).
+const (
+	simShrinkRuns  = 300
+	liveShrinkRuns = 25
+)
+
+// runFuzz drives the whole fuzz pipeline and never returns.
+func runFuzz(count int, seed int64, live bool, outDir, jsonPath string, slack float64) {
+	if count <= 0 {
+		fmt.Fprintln(os.Stderr, "-fuzz needs a positive sample count")
+		os.Exit(2)
+	}
+	scens := fuzz.New(seed).Scenarios(count)
+
+	newEnv := scenario.NewSimEnv
+	mode, shrinkRuns := "fuzz", simShrinkRuns
+	if live {
+		newEnv = liveharness.Builder(liveharness.Config{Slack: slack})
+		mode, shrinkRuns = "fuzz-live", liveShrinkRuns
+	}
+
+	res := &harness.Result{
+		Name: fmt.Sprintf("Chaos fuzz (seed %d, %d samples%s)", seed, count,
+			map[bool]string{true: ", live", false: ""}[live]),
+		Notes: "randomized fault timelines sampled by internal/scenario/fuzz; ok=1 means every invariant held",
+	}
+	reports := make([]*scenario.Report, len(scens))
+	start := time.Now()
+	if live {
+		// Live cells share the machine's wall clock: strictly sequential.
+		for i, s := range scens {
+			fmt.Printf("live %-18s ...", s.Name)
+			cellStart := time.Now()
+			reports[i] = s.RunWith(newEnv)
+			fmt.Printf(" done in %v\n", time.Since(cellStart).Round(time.Millisecond))
+			res.Rows = append(res.Rows, reports[i].Row())
+		}
+	} else {
+		g := &harness.Grid{
+			Name:  res.Name,
+			Notes: res.Notes,
+		}
+		for i, s := range scens {
+			i, s := i, s
+			g.Specs = append(g.Specs, harness.ExperimentSpec{
+				Label: s.Name,
+				Measure: func(*harness.ExperimentSpec) []harness.Row {
+					reports[i] = s.Run()
+					return []harness.Row{reports[i].Row()}
+				},
+			})
+		}
+		res = g.Run()
+	}
+	fmt.Println(res)
+	fmt.Printf("[%d fuzz samples completed in %v]\n\n", len(scens), time.Since(start).Round(time.Millisecond))
+
+	writeJSON(jsonPath, &benchOutput{Scale: mode, Results: []*harness.Result{res}})
+
+	failed := reportVerdicts(reports)
+	if failed == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\n%d of %d fuzz samples violated invariants; shrinking\n", failed, len(reports))
+
+	oracle := func(s *scenario.Scenario) []string { return s.RunWith(newEnv).Violations }
+	safety := false
+	for i, rep := range reports {
+		if rep.OK() {
+			continue
+		}
+		shr := fuzz.Shrink(scens[i], oracle, shrinkRuns)
+		for _, v := range shr.Violations {
+			if strings.HasPrefix(v, "safety:") {
+				safety = true
+			}
+		}
+		writeArtifact(outDir, seed, i, shr)
+	}
+	if live && safety {
+		fmt.Fprintln(os.Stderr, "safety violation present: not retryable")
+		os.Exit(3)
+	}
+	os.Exit(1)
+}
+
+// writeArtifact serializes a shrunk failing timeline into outDir and prints
+// how to replay it. Artifact emission must never mask the violation exit:
+// failures to write are reported and swallowed.
+func writeArtifact(outDir string, seed int64, index int, shr fuzz.Result) {
+	fmt.Fprintf(os.Stderr, "%s: shrunk to %d events in %d runs (%d accepted moves)\n",
+		shr.Scenario.Name, len(shr.Scenario.Events), shr.Runs, shr.Accepted)
+	for _, v := range shr.Violations {
+		fmt.Fprintf(os.Stderr, "    ✗ %s\n", v)
+	}
+	data, err := scenario.MarshalScenario(shr.Scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "    marshal artifact: %v\n", err)
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "    create %s: %v\n", outDir, err)
+		return
+	}
+	path := filepath.Join(outDir, shr.Scenario.Name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "    write %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "    wrote %s — the unshrunk sample replays with: prestige-bench -fuzz %d -fuzz-seed %d\n", path, index+1, seed)
+	fmt.Fprintf(os.Stderr, "    after the fix, commit it (renamed corpus-*) under internal/scenario/corpus/\n")
+}

@@ -6,9 +6,12 @@
 //	prestige-bench -experiment fig9            # one figure, quick scale
 //	prestige-bench -experiment all -full       # everything at paper scale
 //	prestige-bench -experiment all -json o.json  # also write machine-readable results
-//	prestige-bench -scenario all               # the chaos-scenario suite
+//	prestige-bench -scenario all               # the chaos-scenario suite (+ regression corpus)
 //	prestige-bench -scenario majority-partition,flaky-network
+//	prestige-bench -scenario corpus            # only the committed regression corpus
 //	prestige-bench -live -scenario all         # the same suite on a live TCP cluster
+//	prestige-bench -fuzz 50 -fuzz-seed 7       # 50 random timelines; shrink + artifact on violation
+//	prestige-bench -fuzz 5 -fuzz-seed 7 -live  # a handful of fuzz samples on a live cluster
 //	prestige-bench -workers 1                  # force sequential execution
 //	prestige-bench -list                       # enumerate experiments and scenarios
 //
@@ -22,6 +25,14 @@
 // per-scenario invariant verdicts print to stderr and the process exits
 // nonzero if any invariant was violated, which is what lets CI use the suite
 // as a regression gate. DESIGN.md §7 documents the scenario engine.
+//
+// -fuzz samples N seeded random fault timelines (internal/scenario/fuzz)
+// and runs them exactly like -scenario cells: deterministic in sim (same
+// -fuzz-seed ⇒ byte-identical JSON at any -workers), sequential wall-clock
+// runs with -live. A violated invariant shrinks the sample to a minimal
+// failing timeline, writes it under -fuzz-out as a committable corpus file,
+// and exits 1 (3 for live safety violations). DESIGN.md §12 documents the
+// fuzz-and-shrink pipeline and the corpus policy.
 //
 // -live replays the same declarative scenarios against a cluster of real
 // runtime replicas over loopback TCP (internal/liveharness): real
@@ -67,8 +78,11 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for experiment grids (0 = one per CPU)")
 	depth := flag.Int("pipeline-depth", 0, "default replication window W for clusters that do not pin one (0 = core default, 8); specs with an explicit depth — the pipeline sweep, the *-mid-window scenarios — keep theirs")
 	seedOffset := flag.Int64("seed-offset", 0, "shift every scenario's RNG seed by this offset (the nightly seed sweep)")
-	live := flag.Bool("live", false, "run -scenario against a live loopback-TCP cluster (real replicas, real PoW) instead of the simulator")
+	live := flag.Bool("live", false, "run -scenario or -fuzz against a live loopback-TCP cluster (real replicas, real PoW) instead of the simulator")
 	liveSlack := flag.Float64("live-slack", 0, "multiplier on liveness bounds in -live mode (0 = default 1.5)")
+	fuzzCount := flag.Int("fuzz", 0, "sample and run this many random chaos timelines (internal/scenario/fuzz); on violation, shrink and write a minimal timeline to -fuzz-out and exit 1")
+	fuzzSeed := flag.Int64("fuzz-seed", 1, "seed of the fuzz sample stream (the nightly job passes its run id)")
+	fuzzOut := flag.String("fuzz-out", "fuzz-failures", "directory for shrunk failing timelines")
 	flag.Parse()
 
 	harness.Workers = *workers
@@ -97,6 +111,11 @@ func main() {
 		return
 	}
 
+	if *fuzzCount > 0 {
+		runFuzz(*fuzzCount, *fuzzSeed, *live, *fuzzOut, *jsonPath, *liveSlack)
+		return
+	}
+
 	if *scenarios != "" {
 		if *live {
 			runScenariosLive(*scenarios, *jsonPath, *seedOffset, *liveSlack)
@@ -106,7 +125,7 @@ func main() {
 		return
 	}
 	if *live {
-		fmt.Fprintln(os.Stderr, "-live applies to -scenario runs; pick scenarios with -scenario <names|all>")
+		fmt.Fprintln(os.Stderr, "-live applies to -scenario and -fuzz runs; pick scenarios with -scenario <names|all> or samples with -fuzz N")
 		os.Exit(2)
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"prestigebft/internal/consensus"
 	"prestigebft/internal/crypto"
+	"prestigebft/internal/quorum"
 	"prestigebft/internal/types"
 )
 
@@ -550,6 +551,134 @@ func (r *rig) fireKind(id types.ServerID, kind consensus.TimerKind) {
 	for _, key := range r.timersOfKind(id, kind) {
 		delete(r.timers[id], [2]uint64{uint64(kind), key})
 		r.exec(id, r.nodes[id].OnTimer(r.now, kind, key))
+	}
+}
+
+// TestStaleCampaignNotVoted (C3 on the vc chain): a campaign departing
+// from a view below the voter's must not collect a vote even when every
+// other criterion — valid conf_QC, matching tx chain, correct reputation,
+// solved puzzle — checks out. The chaos fuzzer's
+// corpus-lossy-window-stale-campaign scenario wedged the cluster exactly
+// here: voting for a stale candidate burns C1's one-vote-per-view on a
+// vcBlock that cannot extend the voters' chains.
+func TestStaleCampaignNotVoted(t *testing.T) {
+	r := newRig(t, 4)
+	r.submit(1)
+	r.down[1] = true
+	prop := r.clientProp(2)
+	r.complain(prop)
+	r.fireTimers(2 * time.Second)
+	r.solvePuzzles() // elects a leader for view 2
+
+	voter := r.nodes[3]
+	if voter.View() != 2 {
+		t.Fatalf("setup: server 3 in view %d, want 2", voter.View())
+	}
+	if voter.lastVotedView >= 3 {
+		t.Fatalf("setup: server 3 already voted in view %d", voter.lastVotedView)
+	}
+
+	// Forge server 4's campaign for view 3 departing from view 1 — as if it
+	// never saw view 2 — with everything else fully valid: a real f+1
+	// conf_QC over view 1, the voter's own chain tip (C3 heights equal),
+	// the engine-computed penalty (C4), and a solved puzzle (C5).
+	coll := quorum.NewCollector(types.QCConf, 1, types.SeqNum(4), types.Digest{}, 2)
+	coll.Add(r.reg, 4, r.keys[4].Sign(coll.Statement()))
+	coll.Add(r.reg, 3, r.keys[3].Sign(coll.Statement()))
+	confQC := coll.QC()
+	latest := voter.store.LatestTxBlock()
+	res := voter.cfg.Engine.CalcRP(3, voter.store.Snapshot(4, int64(latest.Header.N)))
+	seed := crypto.PuzzleSeed(latest.Hash(), 3)
+	nonce, hr, _ := crypto.SolvePuzzle(seed, int(res.RP)*voter.cfg.PuzzleBitsPerRP, rand.New(rand.NewSource(9)))
+	camp := &types.CampVC{
+		From: 4, ConfQC: confQC, V: 1, VPrime: 3, RP: res.RP, CI: res.CI,
+		Nonce: nonce, HR: hr, TxN: latest.Header.N, TxHash: latest.Hash(), VcN: 1,
+	}
+	camp.Sig = r.keys[4].Sign(camp.SigningBytes())
+
+	before := voter.lastVotedView
+	effs := voter.OnMessage(r.now, consensus.FromServer(4), camp)
+	for _, e := range effs {
+		if s, ok := e.(consensus.Send); ok {
+			switch s.Msg.(type) {
+			case *types.VoteCP:
+				t.Fatal("voted for a campaign departing from a stale view")
+			case *types.SyncReq:
+				t.Fatal("synced toward a candidate whose vc chain is behind ours")
+			}
+		}
+	}
+	if voter.lastVotedView != before {
+		t.Fatalf("vote record advanced to view %d on a stale campaign", voter.lastVotedView)
+	}
+}
+
+// TestUnconfirmedLeaderRetransmits reproduces the election standoff the
+// chaos fuzzer mined (corpus-lossy-window-unconfirmed-leader): a candidate
+// wins the vote, but every VcYes ack is lost, so it sits elected-but-
+// unconfirmed while its voters — votes for v' burned (C1) — sit one view
+// ahead with no one able to break the tie. The TimerVcConfirm retry must
+// re-broadcast the pending vcBlock, the voters who already installed it
+// must re-ack the duplicate, and the election must then complete.
+func TestUnconfirmedLeaderRetransmits(t *testing.T) {
+	r := newRig(t, 4)
+	r.submit(1)
+	r.down[1] = true
+	prop := r.clientProp(2)
+	r.complain(prop)
+	// Lose every VcYes: the winner broadcasts its vcBlock, the voters
+	// install it and ack, and none of the acks arrive.
+	r.intercept = func(from, to types.ServerID, msg types.Message) bool {
+		_, isYes := msg.(*types.VcYes)
+		return isYes
+	}
+	r.fireTimers(2 * time.Second)
+	r.solvePuzzles() // elects a leader for view 2; acks held
+
+	var leader *Node
+	var leaderID types.ServerID
+	for id, n := range r.nodes {
+		if n.State() == Leader && !r.down[id] {
+			leader, leaderID = n, id
+		}
+	}
+	if leader == nil {
+		t.Fatal("setup: no leader elected")
+	}
+	if leader.leaderConfirmed || leader.pendingVcBlock == nil || leader.View() != 1 {
+		t.Fatalf("setup: leader %d should be elected but unconfirmed (confirmed=%v view=%d)",
+			leaderID, leader.leaderConfirmed, leader.View())
+	}
+	if got := r.timersOfKind(leaderID, TimerVcConfirm); len(got) == 0 {
+		t.Fatal("unconfirmed leader armed no TimerVcConfirm")
+	}
+
+	// The fabric heals: the retry re-broadcasts the pending vcBlock, the
+	// voters (already at view 2) re-ack the duplicate, and the collector
+	// completes the election.
+	r.held = nil
+	r.intercept = nil
+	r.fireKind(leaderID, TimerVcConfirm)
+	if !leader.leaderConfirmed || leader.View() != 2 {
+		t.Fatalf("retry did not complete the election: confirmed=%v view=%d",
+			leader.leaderConfirmed, leader.View())
+	}
+	if got := r.timersOfKind(leaderID, TimerVcConfirm); len(got) != 0 {
+		t.Fatalf("confirmation left TimerVcConfirm armed: %v", got)
+	}
+	// A late firing after confirmation is a no-op.
+	if effs := leader.OnTimer(r.now, TimerVcConfirm, 2); len(effs) != 0 {
+		t.Fatalf("confirmed leader re-broadcast on a stale retry timer: %v", effs)
+	}
+	// And replication works in the new view.
+	r.submit(3)
+	for id, n := range r.nodes {
+		if r.down[id] {
+			continue
+		}
+		if n.Store().TxHeight() < 2 {
+			t.Fatalf("server %d did not commit in the recovered view (height %d)", id, n.Store().TxHeight())
+		}
 	}
 }
 

@@ -76,6 +76,12 @@ const (
 	// SyncReq or SyncResp would otherwise wedge the node in the syncing
 	// state forever (stashing every message, including election votes).
 	TimerSync
+	// TimerVcConfirm bounds an elected-but-unconfirmed leader's wait for
+	// 2f+1 VcYes. Key: the view campaigned for. On expiry the leader
+	// re-broadcasts its pending vcBlock — the only retry path for a drop of
+	// either the block or an ack, without which the election standoff in
+	// onVcConfirmTimeout's comment wedges the cluster permanently.
+	TimerVcConfirm
 )
 
 // Config parameterizes a node. Zero values select the defaults documented
@@ -607,6 +613,8 @@ func (n *Node) OnTimer(now time.Duration, kind consensus.TimerKind, key uint64) 
 		return n.onInstanceTimer(now, types.SeqNum(key))
 	case TimerSync:
 		return n.onSyncTimeout(now, key)
+	case TimerVcConfirm:
+		return n.onVcConfirmTimeout(now, key)
 	}
 	return nil
 }

@@ -334,6 +334,21 @@ func (n *Node) onCampVC(now time.Duration, m *types.CampVC) []consensus.Effect {
 	if m.V > myView {
 		return n.startSync(m.From, types.SyncVc, uint64(myView), uint64(m.V), m)
 	}
+	// C3 applied to the view-change chain: the campaign must depart from
+	// our current view. A candidate whose vc chain is behind ours builds
+	// its vcBlock on a tip we have already left — we could never install
+	// it (PrevHash mismatch), and the candidate cannot serve us the gap it
+	// skipped, so voting would burn our one vote for v' (C1) on a
+	// guaranteed dead end. The chaos fuzzer found exactly this under a
+	// lossy fabric: an unconfirmed new leader leaves its voters one view
+	// ahead of everyone else, a stale server then campaigns from the old
+	// view, collects a full quorum of wasted votes, and the cluster wedges
+	// permanently (corpus-lossy-window-stale-campaign). Refusing keeps the
+	// vote available for a candidate on the current chain; the stale
+	// candidate's election times out and it recampaigns after syncing.
+	if m.V < myView {
+		return nil
+	}
 	// C3: the candidate's replication must be at least as up-to-date as
 	// ours (lines 21-24).
 	myHeight := n.store.TxHeight()
@@ -472,6 +487,40 @@ func (n *Node) becomeLeader(now time.Duration) []consensus.Effect {
 	return []consensus.Effect{
 		consensus.CancelTimer{Kind: TimerElection, Key: uint64(n.vPrime)},
 		consensus.Broadcast{Msg: msg},
+		consensus.SetTimer{Kind: TimerVcConfirm, Key: uint64(n.vPrime), Delay: n.randTimeout()},
+	}
+}
+
+// onVcConfirmTimeout re-broadcasts an elected-but-unconfirmed leader's
+// vcBlock. Winning the vote is not the end of the election: replication
+// stays stopped until 2f+1 VcYes confirm the block, and both the block
+// broadcast and the acks cross the fabric with no other retry path. Lose
+// either to a drop and the leader-elect would wait forever — a standoff no
+// third party can break, because the voters' one vote for v' is burned
+// (C1), so no rival candidate can win v', and a voter that already
+// installed the block sits alone at the new view, unable to assemble
+// conf_QC for it. The chaos fuzzer mined exactly this deadlock under a
+// lossy fabric (corpus-lossy-window-unconfirmed-leader): one dropped
+// message froze three healthy servers permanently. Re-broadcasting is safe
+// — the block is idempotent at receivers (installed copies just re-ack,
+// see onVcBlock) — and the timer dies with the pending state: confirmation
+// cancels it, and being deposed by a higher view clears pendingVcBlock so
+// a late firing is a no-op.
+func (n *Node) onVcConfirmTimeout(now time.Duration, key uint64) []consensus.Effect {
+	if n.state != Leader || n.leaderConfirmed || n.pendingVcBlock == nil {
+		return nil
+	}
+	if uint64(n.pendingVcBlock.V) != key {
+		return nil
+	}
+	msg := &types.VcBlockMsg{From: n.cfg.ID, Block: *n.pendingVcBlock}
+	msg.Sig = n.sign(msg.SigningBytes())
+	// Re-arm before broadcasting: if the re-acks complete the election, the
+	// confirmation path cancels the timer, and that cancel must not race a
+	// re-arm sequenced after the broadcast's delivery cascade.
+	return []consensus.Effect{
+		consensus.SetTimer{Kind: TimerVcConfirm, Key: key, Delay: n.randTimeout()},
+		consensus.Broadcast{Msg: msg},
 	}
 }
 
@@ -507,6 +556,7 @@ func (n *Node) onVcYes(now time.Duration, m *types.VcYes) []consensus.Effect {
 	adopt, leftover := n.buildAdoptionPlan()
 	effs := n.enterView(now, true)
 	effs = append(effs,
+		consensus.CancelTimer{Kind: TimerVcConfirm, Key: uint64(blk.V)},
 		n.trace(consensus.TraceElected, blk.V, n.campRP),
 		n.trace(consensus.TraceRPChange, blk.V, n.campRP),
 	)
@@ -633,6 +683,17 @@ func (n *Node) onVcBlock(now time.Duration, m *types.VcBlockMsg) []consensus.Eff
 	blk := &m.Block
 	cur := n.store.LatestVcBlock()
 	if blk.V <= cur.V {
+		// A duplicate of the vcBlock we already installed means the leader
+		// is re-broadcasting because it is short of VcYes acks — ours may
+		// have been the dropped one. Re-ack; the ack is idempotent at the
+		// leader (its collector rejects duplicate signers), and without it
+		// a lost VcYes wedges the election exactly like a lost block.
+		if blk.V == cur.V && m.From == blk.LeaderID && blk.Hash() == cur.Hash() &&
+			n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) {
+			yes := &types.VcYes{From: n.cfg.ID, V: blk.V, BlockHash: blk.Hash()}
+			yes.Sig = n.sign(yes.SigningBytes())
+			return []consensus.Effect{consensus.Send{To: blk.LeaderID, Msg: yes}}
+		}
 		return nil
 	}
 	if !n.cfg.Registry.VerifyServer(m.From, m.SigningBytes(), m.Sig) || m.From != blk.LeaderID {

@@ -255,41 +255,79 @@ func Builtin() []*Scenario {
 	}
 }
 
-// Names lists the built-in scenario names in canonical order.
+// Names lists the built-in scenario names in canonical order, followed by
+// the committed regression corpus (corpus.go).
 func Names() []string {
 	lib := Builtin()
 	out := make([]string, len(lib))
 	for i, s := range lib {
 		out[i] = s.Name
 	}
-	return out
+	return append(out, CorpusNames()...)
 }
 
-// Get returns the built-in scenario with the given name.
+// Get returns the built-in or corpus scenario with the given name.
 func Get(name string) (*Scenario, bool) {
 	for _, s := range Builtin() {
 		if s.Name == name {
 			return s, true
 		}
 	}
+	if corpus, err := Corpus(); err == nil {
+		for _, s := range corpus {
+			if s.Name == name {
+				return s, true
+			}
+		}
+	}
 	return nil, false
 }
 
-// List resolves names to fresh scenario copies (the whole library when
-// names is empty), shifting every seed by seedOffset. Suite drivers — the
-// parallel sim grid and the sequential live runner — share it.
+// List resolves names to fresh scenario copies, shifting every seed by
+// seedOffset. An empty names slice selects the whole library — the
+// built-ins plus the committed regression corpus — and the pseudo-name
+// "corpus" expands to every corpus scenario, which is how the live smoke
+// job replays mined regressions without enumerating them. Registration
+// rejects duplicate scenario names: two library entries (or a corpus file
+// shadowing a built-in) sharing a name would silently run one timeline
+// twice and the other never. Suite drivers — the parallel sim grid and the
+// sequential live runner — share it.
 func List(names []string, seedOffset int64) ([]*Scenario, error) {
 	var lib []*Scenario
 	if len(names) == 0 {
-		lib = Builtin()
+		corpus, err := Corpus()
+		if err != nil {
+			return nil, err
+		}
+		lib = append(Builtin(), corpus...)
 	} else {
+		corpusUsed := false
 		for _, name := range names {
+			if name == "corpus" {
+				if corpusUsed {
+					return nil, fmt.Errorf("duplicate scenario name %q at registration", name)
+				}
+				corpusUsed = true
+				corpus, err := Corpus()
+				if err != nil {
+					return nil, err
+				}
+				lib = append(lib, corpus...)
+				continue
+			}
 			s, ok := Get(name)
 			if !ok {
 				return nil, fmt.Errorf("unknown scenario %q (have: %v)", name, Names())
 			}
 			lib = append(lib, s)
 		}
+	}
+	seen := make(map[string]bool, len(lib))
+	for _, s := range lib {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("duplicate scenario name %q at registration", s.Name)
+		}
+		seen[s.Name] = true
 	}
 	if seedOffset != 0 {
 		// Builtin returns fresh copies, so shifting seeds is cell-local.

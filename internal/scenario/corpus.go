@@ -1,0 +1,71 @@
+package scenario
+
+// The regression corpus: fuzz-mined minimal failing timelines, committed as
+// timeline documents under internal/scenario/corpus/ and embedded into the
+// binary so they load into the ordinary suite everywhere the built-ins run —
+// the PR-blocking sim gate, the live smoke job, and the nightly seed sweep.
+// A wedge found once by the fuzzer can therefore never come back silently.
+// DESIGN.md §12 documents the corpus policy.
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// corpusFS embeds the committed corpus directory (timeline *.json documents
+// plus its README). Embedding the directory rather than a *.json glob keeps
+// the package compiling when the corpus is empty.
+//
+//go:embed corpus
+var corpusFS embed.FS
+
+// Corpus parses the committed regression corpus into fresh scenario copies,
+// sorted by file name. Parse or validation failures surface as errors: a
+// malformed committed timeline must fail loudly, not silently shrink the
+// regression suite.
+func Corpus() ([]*Scenario, error) {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Scenario, 0, len(names))
+	for _, name := range names {
+		data, err := corpusFS.ReadFile("corpus/" + name)
+		if err != nil {
+			return nil, fmt.Errorf("corpus/%s: %w", name, err)
+		}
+		s, err := UnmarshalScenario(data)
+		if err != nil {
+			return nil, fmt.Errorf("corpus/%s: %w", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus/%s (%s): %w", name, s.Name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// CorpusNames lists the corpus scenario names in load order (empty on a
+// corpus that fails to parse — Names stays usable for -list; the error
+// surfaces when the suite actually loads).
+func CorpusNames() []string {
+	lib, err := Corpus()
+	if err != nil {
+		return nil
+	}
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+// Package fuzz generates randomized chaos-scenario timelines and shrinks
+// failing ones to minimal reproducers (DESIGN.md §12). The hand-written
+// scenario library (scenario/builtin.go) is a fixed test set; the fuzzer
+// samples the space those eleven points live in: seeded random sequences of
+// Crash/Recover, Partition/Heal, SetFault swaps, and Degrade/Restore over
+// the existing invariant oracles (safety, steady state, bounded liveness
+// recovery, catch-up).
+//
+// Generation is a pure function of (fuzz seed, sample index): the generator
+// draws from its own rand.Rand, tracks the cluster state machine (who is
+// crashed, who is Byzantine, whether a partition or degradation is active)
+// so that every sampled timeline satisfies the same preconditions
+// Scenario.Validate enforces — never more than f simultaneous crashed-or-
+// Byzantine servers, no Recover of a running server, no runtime RepeatedVC
+// swap — and always quiesces: every fault it injects is healed, cleared, or
+// restored before the timeline ends (except crashes it deliberately leaves
+// in place, which keep quorum by construction), so the bounded-liveness
+// invariant is a claim the protocol actually makes. Each sample then runs
+// as an ordinary deterministic grid cell: same seed, same timeline, same
+// verdict at any worker count.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"prestigebft/internal/faults"
+	"prestigebft/internal/harness"
+	"prestigebft/internal/scenario"
+	"prestigebft/internal/types"
+)
+
+// Tunables of the sampled space. Widening any of these widens the search;
+// they are constants (not knobs) so a fuzz seed alone reproduces a sample.
+const (
+	warmup = 2 * time.Second
+	// minGap/maxGap bound the virtual time between consecutive events.
+	minGap = 300 * time.Millisecond
+	maxGap = 1500 * time.Millisecond
+	// minEvents/maxEvents bound the randomized phase (cleanup is extra).
+	minEvents = 2
+	maxEvents = 8
+	// recoverWithin is the bounded-liveness budget granted after the final
+	// event. Generous on purpose: a generated timeline may end with a crash
+	// still in place and a fresh election required; the invariant hunts
+	// wedges (no recovery at all), not slow recoveries.
+	recoverWithin = 12 * time.Second
+	// tailSlack pads the span past the liveness deadline so the recovery
+	// scan always has a full measurement window.
+	tailSlack = 2 * time.Second
+	// leaderDownForVC is the contiguous crash duration of the initial
+	// leader, un-obscured by any partition, after which a completed
+	// election is provably required and RequireViewChange is asserted.
+	leaderDownForVC = 4 * time.Second
+)
+
+// Fuzzer samples scenarios deterministically from a seed.
+type Fuzzer struct {
+	seed int64
+}
+
+// New returns a fuzzer for the given seed.
+func New(seed int64) *Fuzzer { return &Fuzzer{seed: seed} }
+
+// Scenarios samples the first count scenarios.
+func (f *Fuzzer) Scenarios(count int) []*scenario.Scenario {
+	out := make([]*scenario.Scenario, count)
+	for i := range out {
+		out[i] = f.Scenario(i)
+	}
+	return out
+}
+
+// Scenario samples the i-th scenario of this fuzzer's stream. The result
+// always passes Validate — a sample that does not is a generator bug and
+// panics rather than polluting a CI run with "invalid:" verdicts.
+func (f *Fuzzer) Scenario(i int) *scenario.Scenario {
+	// splitmix-style seed mixing keeps per-sample streams independent: with
+	// plain seed+i, fuzzer seeds S and S+1 would share most samples.
+	mixed := f.seed ^ (int64(i)+1)*0x5851F42D4C957F2D
+	if mixed == 0 {
+		mixed = 1
+	}
+	rng := rand.New(rand.NewSource(mixed))
+	s := generate(rng, fmt.Sprintf("fuzz-s%d-%04d", f.seed, i))
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("fuzz: generated invalid scenario %s: %v", s.Name, err))
+	}
+	return s
+}
+
+// genState tracks the cluster state machine during generation, mirroring
+// the stateful checks in Scenario.Validate.
+type genState struct {
+	n, f        int
+	wrapped     []types.ServerID
+	crashed     map[types.ServerID]bool
+	byz         map[types.ServerID]bool
+	partitioned bool
+	degraded    bool
+}
+
+// faultLoad counts servers currently crashed or Byzantine-and-running — the
+// quantity the fault bound f caps (a crashed attacker is just a crash).
+func (g *genState) faultLoad() int {
+	load := len(g.crashed)
+	for _, id := range types.SortedKeys(g.byz) {
+		if !g.crashed[id] {
+			load++
+		}
+	}
+	return load
+}
+
+func generate(rng *rand.Rand, name string) *scenario.Scenario {
+	// Cluster shape: mostly the 4-server minimum (fastest cells, f=1),
+	// sometimes 7 (f=2 allows richer concurrent-fault interleavings).
+	n := 4
+	if rng.Intn(10) < 3 {
+		n = 7
+	}
+	g := &genState{
+		n:       n,
+		f:       types.FaultBound(n),
+		crashed: make(map[types.ServerID]bool),
+		byz:     make(map[types.ServerID]bool),
+	}
+	// Wrap up to f servers (from the top ids, away from the initial leader
+	// S1) so SetFault swaps have targets. Zero wrapped servers simply
+	// removes SetFault from the action vocabulary for this sample.
+	for w := rng.Intn(g.f + 1); w > 0; w-- {
+		g.wrapped = append(g.wrapped, types.ServerID(n-w+1))
+	}
+
+	opts := harness.Options{
+		N: n, Clients: 8, BatchSize: 8,
+		Seed:          rng.Int63n(1<<40) + 1,
+		ClientTimeout: 500 * time.Millisecond,
+		WrapServers:   append([]types.ServerID(nil), g.wrapped...),
+	}
+	// Sometimes run with certified checkpoints enabled: compaction racing
+	// crashes and partitions is exactly where a stale-snapshot wedge would
+	// hide. No checkpoint invariants are asserted — short timelines may
+	// legitimately not compact — the value is the interleaving itself
+	// under the always-on safety and liveness oracles.
+	if rng.Intn(10) < 3 {
+		opts.CheckpointInterval = 16
+	}
+
+	var events []scenario.Event
+	at := warmup
+	steps := minEvents + rng.Intn(maxEvents-minEvents+1)
+	for len(events) < steps {
+		at += minGap + time.Duration(rng.Int63n(int64(maxGap-minGap)))
+		ev, ok := g.step(rng, at)
+		if !ok {
+			continue
+		}
+		events = append(events, ev)
+	}
+
+	// Cleanup phase: quiesce so bounded liveness is a legitimate claim.
+	// Order matters — heal the fabric before recovering servers so the
+	// recovered replicas rejoin a connected quorum.
+	cleanup := func(a scenario.Action) {
+		at += 400 * time.Millisecond
+		events = append(events, scenario.Event{At: at, Action: a})
+	}
+	if g.partitioned {
+		cleanup(scenario.Heal{})
+	}
+	if g.degraded {
+		cleanup(scenario.Restore{})
+	}
+	for _, id := range types.SortedKeys(g.byz) {
+		cleanup(scenario.SetFault{Server: id})
+		delete(g.byz, id)
+	}
+	for _, id := range types.SortedKeys(g.crashed) {
+		// Most crashed servers recover (exercising the catch-up and
+		// timer-re-arm paths); some stay down, which forces the liveness
+		// oracle to see the survivors commit without them — the shape that
+		// catches election wedges even when a recovered old leader would
+		// otherwise resume and mask one. Quorum holds either way: at most
+		// f servers are ever crashed.
+		if rng.Intn(10) < 7 {
+			cleanup(scenario.Recover{Server: id})
+			delete(g.crashed, id)
+		}
+	}
+
+	inv := scenario.Invariants{RecoverWithin: recoverWithin}
+	// Catch-up oracle: a server that crashed and came back must end near
+	// the head. Pick the last recovered server that is still up when the
+	// timeline ends (deterministic choice): a server that was re-crashed
+	// after its recovery and left down can never catch up, so asserting it
+	// would fail a perfectly healthy protocol. g.crashed holds exactly the
+	// servers down at the end — the cleanup loop above deleted the ones it
+	// recovered.
+	for i := len(events) - 1; i >= 0; i-- {
+		r, ok := events[i].Action.(scenario.Recover)
+		if !ok {
+			continue
+		}
+		if _, down := g.crashed[r.Server]; down {
+			continue
+		}
+		inv.CatchUpServer = r.Server
+		break
+	}
+	// Election oracle: if the initial leader S1 was provably deposed —
+	// crashed for a contiguous window ≥ leaderDownForVC during which no
+	// partition could have kept the followers from assembling a quorum —
+	// then at least one election must have completed. Without this, a
+	// view-change wedge can hide behind the recovered leader resuming.
+	if leaderProvablyDeposed(events) {
+		inv.RequireViewChange = true
+	}
+
+	last := events[len(events)-1].At
+	return &scenario.Scenario{
+		Name: name,
+		Description: fmt.Sprintf("fuzz-sampled timeline (n=%d, %d events, opts seed %d)",
+			n, len(events), opts.Seed),
+		Opts:       opts,
+		Warmup:     warmup,
+		Span:       last + recoverWithin + tailSlack,
+		Events:     events,
+		Invariants: inv,
+	}
+}
+
+// step samples one applicable action at time at, updating the state machine.
+// ok is false when the sampled action kind has no valid instantiation right
+// now (e.g. Heal with no partition active); the caller just re-rolls.
+func (g *genState) step(rng *rand.Rand, at time.Duration) (scenario.Event, bool) {
+	mk := func(a scenario.Action) (scenario.Event, bool) {
+		return scenario.Event{At: at, Action: a}, true
+	}
+	switch rng.Intn(7) {
+	case 0: // Crash
+		var cands []types.ServerID
+		if g.faultLoad() < g.f {
+			for i := 1; i <= g.n; i++ {
+				id := types.ServerID(i)
+				if !g.crashed[id] {
+					cands = append(cands, id)
+				}
+			}
+		} else {
+			// At the bound, crashing a running Byzantine server keeps the
+			// load constant (it stops counting as Byzantine).
+			for _, id := range types.SortedKeys(g.byz) {
+				if !g.crashed[id] {
+					cands = append(cands, id)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return scenario.Event{}, false
+		}
+		id := cands[rng.Intn(len(cands))]
+		g.crashed[id] = true
+		return mk(scenario.Crash{Server: id})
+	case 1: // Recover
+		cands := types.SortedKeys(g.crashed)
+		// A crashed Byzantine server resuming would re-raise the fault load.
+		var ok []types.ServerID
+		for _, id := range cands {
+			if !g.byz[id] || g.faultLoad() < g.f {
+				ok = append(ok, id)
+			}
+		}
+		if len(ok) == 0 {
+			return scenario.Event{}, false
+		}
+		id := ok[rng.Intn(len(ok))]
+		delete(g.crashed, id)
+		return mk(scenario.Recover{Server: id})
+	case 2: // Partition (replaces any active one)
+		groups := g.samplePartition(rng)
+		if groups == nil {
+			return scenario.Event{}, false
+		}
+		g.partitioned = true
+		return mk(scenario.Partition{Groups: groups})
+	case 3: // Heal
+		if !g.partitioned {
+			return scenario.Event{}, false
+		}
+		g.partitioned = false
+		return mk(scenario.Heal{})
+	case 4: // SetFault
+		if len(g.wrapped) == 0 {
+			return scenario.Event{}, false
+		}
+		id := g.wrapped[rng.Intn(len(g.wrapped))]
+		if g.byz[id] {
+			// Clear it (dynamic fault migration: the faulty set moves).
+			delete(g.byz, id)
+			return mk(scenario.SetFault{Server: id})
+		}
+		if g.faultLoad() >= g.f && !g.crashed[id] {
+			return scenario.Event{}, false
+		}
+		spec := quietOrEquivocate(rng)
+		g.byz[id] = true
+		return mk(scenario.SetFault{Server: id, Spec: spec})
+	case 5: // Degrade
+		extra := 5*time.Millisecond + time.Duration(rng.Int63n(int64(35*time.Millisecond)))
+		g.degraded = true
+		return mk(scenario.Degrade{
+			Extra:    extra,
+			Jitter:   time.Duration(rng.Int63n(int64(extra)/2 + 1)),
+			DropRate: rng.Float64() * 0.25,
+		})
+	case 6: // Restore
+		if !g.degraded {
+			return scenario.Event{}, false
+		}
+		g.degraded = false
+		return mk(scenario.Restore{})
+	}
+	return scenario.Event{}, false
+}
+
+// samplePartition draws a random split: each server lands in the implicit
+// remainder group or one of up to two named groups. Splits that do not
+// actually separate anybody (all servers on one side) are rejected.
+func (g *genState) samplePartition(rng *rand.Rand) [][]types.ServerID {
+	ngroups := 1
+	if g.n >= 7 && rng.Intn(4) == 0 {
+		ngroups = 2
+	}
+	named := make([][]types.ServerID, ngroups)
+	remainder := 0
+	for i := 1; i <= g.n; i++ {
+		gi := rng.Intn(ngroups + 1)
+		if gi == 0 {
+			remainder++
+			continue
+		}
+		named[gi-1] = append(named[gi-1], types.ServerID(i))
+	}
+	sep := 0
+	for _, grp := range named {
+		if len(grp) > 0 {
+			sep++
+		}
+	}
+	if sep == 0 || (remainder == 0 && sep < 2) {
+		return nil
+	}
+	return named
+}
+
+// quietOrEquivocate samples a runtime-swappable Byzantine behavior (F2 or
+// F3; F4/RepeatedVC is construction-time only and never generated).
+func quietOrEquivocate(rng *rand.Rand) faults.Spec {
+	if rng.Intn(2) == 0 {
+		return faults.Spec{Mode: faults.Quiet}
+	}
+	return faults.Spec{Mode: faults.Equivocate}
+}
+
+// leaderProvablyDeposed scans the timeline for a contiguous window of
+// length ≥ leaderDownForVC in which S1 is crashed and no partition is
+// active anywhere: during such a window the remaining n−1 ≥ 2f+1 servers
+// are fully connected, at most f−1 of them are crashed or Byzantine, and
+// the clients' complaint timers are running — a completed election is
+// guaranteed, so RequireViewChange is a sound oracle. Partitions anywhere
+// in the window void the proof (conservatively: even a partition that
+// leaves a quorum connected changes which servers can confirm).
+func leaderProvablyDeposed(events []scenario.Event) bool {
+	const leader = types.ServerID(1)
+	down := false
+	partitioned := false
+	var windowStart time.Duration
+	open := false // an S1-down, partition-free window is currently open
+	check := func(until time.Duration) bool {
+		return open && until-windowStart >= leaderDownForVC
+	}
+	for _, ev := range events {
+		if check(ev.At) {
+			return true
+		}
+		switch a := ev.Action.(type) {
+		case scenario.Crash:
+			if a.Server == leader {
+				down = true
+			}
+		case scenario.Recover:
+			if a.Server == leader {
+				down = false
+			}
+		case scenario.Partition:
+			partitioned = true
+		case scenario.Heal:
+			partitioned = false
+		}
+		if down && !partitioned {
+			if !open {
+				open, windowStart = true, ev.At
+			}
+		} else {
+			open = false
+		}
+	}
+	if len(events) == 0 {
+		return false
+	}
+	// The span extends recoverWithin past the last event; an open window at
+	// the end certainly reaches leaderDownForVC.
+	return open
+}

@@ -184,8 +184,11 @@ func (s *Scenario) Validate() error {
 		if ev.At < s.warmup() {
 			return fmt.Errorf("event %d (%s at %v) fires inside the warmup window (%v)", i, ev.Action, ev.At, s.warmup())
 		}
-		if ev.At > s.Span {
-			return fmt.Errorf("event %d (%s at %v) fires after the span (%v)", i, ev.Action, ev.At, s.Span)
+		if ev.At >= s.Span {
+			// At == Span is rejected too: the run ends at the horizon, so an
+			// event firing exactly there can never influence any measured
+			// window — it would be a silent no-op in the timeline.
+			return fmt.Errorf("event %d (%s at %v) fires at or past the scenario horizon (%v)", i, ev.Action, ev.At, s.Span)
 		}
 		switch a := ev.Action.(type) {
 		case Crash:

@@ -126,7 +126,7 @@ func TestValidationRejectsMalformedScenarios(t *testing.T) {
 		}, "warmup window"},
 		{"event after span", func(s *Scenario) {
 			s.Events = []Event{{At: 11 * time.Second, Action: Crash{Server: 2}}}
-		}, "after the span"},
+		}, "at or past the scenario horizon"},
 		{"events out of order", func(s *Scenario) {
 			s.Events = []Event{
 				{At: 5 * time.Second, Action: Crash{Server: 2}},

@@ -13,8 +13,9 @@
 //     generating run already exits nonzero on violations);
 //   - rows or metrics missing from either side are reported but advisory —
 //     experiments evolve between PRs;
-//   - no baseline file matching the glob is advisory (first run on a fresh
-//     trajectory) and exits 0.
+//   - no baseline file matching the glob is an error: baselines are
+//     committed (BENCH_PR5.json onward), so an empty match means the glob
+//     or the checkout is broken and the gate would otherwise silently pass.
 package main
 
 import (
@@ -125,8 +126,8 @@ func main() {
 		}
 	}
 	if len(baselines) == 0 {
-		fmt.Printf("bench_compare: no baseline matches %q — first run on an empty trajectory, advisory pass\n", *baselineGlob)
-		return
+		fmt.Fprintf(os.Stderr, "bench_compare: no baseline matches %q — baselines are committed, so an empty match means a broken glob or checkout\n", *baselineGlob)
+		os.Exit(2)
 	}
 	// Latest baseline = highest numeric suffix (BENCH_PR10 > BENCH_PR9, which
 	// plain lexical order would get wrong), name order as tiebreak.
