@@ -3,9 +3,9 @@ GO ?= go
 # The committed bench-trajectory document for this PR sequence. CI's bench
 # job regenerates the same document and gates on >10% throughput regressions
 # against the last committed BENCH_*.json.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke fuzz fuzz-live clean
+.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke fuzz fuzz-live soak clean
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,15 @@ fuzz:
 fuzz-live:
 	$(GO) run ./cmd/prestige-bench -fuzz 5 -fuzz-seed $(FUZZ_SEED) -live
 
+# The nightly soak gate, locally: SOAK_DUR of live cluster under rolling
+# follower churn, scraped at baseline/mid/end, exiting nonzero unless every
+# resource-flatness gate (ledger, heap, goroutines, p99) holds. Verdict JSON
+# and raw /metrics snapshots land in soak-verdict.json / soak-metrics/.
+SOAK_DUR ?= 3m
+soak:
+	$(GO) run ./cmd/prestige-bench -soak $(SOAK_DUR) \
+		-soak-out soak-verdict.json -soak-metrics-dir soak-metrics
+
 clean:
-	rm -f bench.json
-	rm -rf bin fuzz-failures
+	rm -f bench.json soak-verdict.json
+	rm -rf bin fuzz-failures soak-metrics

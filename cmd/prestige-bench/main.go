@@ -12,6 +12,7 @@
 //	prestige-bench -live -scenario all         # the same suite on a live TCP cluster
 //	prestige-bench -fuzz 50 -fuzz-seed 7       # 50 random timelines; shrink + artifact on violation
 //	prestige-bench -fuzz 5 -fuzz-seed 7 -live  # a handful of fuzz samples on a live cluster
+//	prestige-bench -soak 3m -soak-out v.json   # live cluster under churn, gated on resource flatness
 //	prestige-bench -workers 1                  # force sequential execution
 //	prestige-bench -list                       # enumerate experiments and scenarios
 //
@@ -83,6 +84,10 @@ func main() {
 	fuzzCount := flag.Int("fuzz", 0, "sample and run this many random chaos timelines (internal/scenario/fuzz); on violation, shrink and write a minimal timeline to -fuzz-out and exit 1")
 	fuzzSeed := flag.Int64("fuzz-seed", 1, "seed of the fuzz sample stream (the nightly job passes its run id)")
 	fuzzOut := flag.String("fuzz-out", "fuzz-failures", "directory for shrunk failing timelines")
+	soak := flag.Duration("soak", 0, "run a live cluster under rolling churn for this long and gate on resource flatness (ledger, heap, goroutines, p99); exits 1 on any gate failure")
+	soakOut := flag.String("soak-out", "", "write the soak verdict JSON here (nightly CI archives it)")
+	soakMetricsDir := flag.String("soak-metrics-dir", "", "archive raw /metrics snapshots (baseline/mid/end, per replica) into this directory")
+	ckptInterval := flag.Int("checkpoint-interval", 16, "checkpoint/compaction interval for -soak clusters (0 disables compaction — the ledger-flat gate then fails by design)")
 	flag.Parse()
 
 	harness.Workers = *workers
@@ -108,6 +113,11 @@ func main() {
 
 	if *ciPath != "" {
 		runCI(*ciPath, *seedOffset)
+		return
+	}
+
+	if *soak > 0 {
+		runSoak(*soak, *ckptInterval, *soakOut, *soakMetricsDir)
 		return
 	}
 

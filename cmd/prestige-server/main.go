@@ -18,11 +18,18 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"prestigebft/internal/consensus"
 	"prestigebft/internal/core"
 	"prestigebft/internal/crypto"
+	"prestigebft/internal/metrics"
 	"prestigebft/internal/runtime"
 	"prestigebft/internal/transport"
 	"prestigebft/internal/types"
@@ -41,6 +48,7 @@ func main() {
 	bits := flag.Int("puzzle-bits", 4, "proof-of-work bits per reputation penalty unit")
 	policy := flag.Duration("rotate", 0, "timing-policy view rotation period (0 = disabled)")
 	rngSeed := flag.Int64("rng-seed", 0, "runtime RNG seed for reproducible timer jitter and puzzle nonces (0 = wall clock)")
+	admin := flag.String("admin", "", "admin listen address serving /metrics and /healthz (empty = disabled)")
 	verbose := flag.Bool("v", false, "log traces")
 	flag.Parse()
 
@@ -74,12 +82,19 @@ func main() {
 	node := core.New(nodeCfg)
 
 	tr := transport.NewServerTransport(sid)
+	tr.SetLogf(log.Printf)
+	var mreg *metrics.Registry
+	if *admin != "" {
+		mreg = metrics.NewRegistry()
+		metrics.RegisterProcessMetrics(mreg)
+	}
 	rt := runtime.New(runtime.Config{
 		Replica:         node,
 		Peers:           peerMap,
 		Transport:       tr,
 		PuzzleBitsPerRP: *bits,
 		Seed:            *rngSeed,
+		Metrics:         mreg,
 		OnCommit: func(b *types.TxBlock) {
 			if *verbose {
 				log.Printf("committed block %d (%d txs) in view %d", b.Header.N, len(b.Txs), b.Header.V)
@@ -103,7 +118,64 @@ func main() {
 	if err := tr.Listen(*listen, handler); err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("prestige-server %d/%d listening on %s (leader of view 1: server 1)", *id, *n, tr.Addr())
 
+	var draining atomic.Bool
+	if *admin != "" {
+		adm, err := metrics.ServeAdmin(*admin, mreg, func() metrics.Health {
+			return healthOf(rt, tr, draining.Load())
+		})
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		defer adm.Close()
+		log.Printf("admin on %s (/metrics, /healthz)", adm.Addr())
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM flips /healthz to draining, stops
+	// the event loop, waits until no goroutine touches the replica anymore,
+	// then closes the transport so peers see a clean death (their cached
+	// connections fail and evict) instead of a half-open socket.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %v, draining", sig)
+		draining.Store(true)
+		rt.Stop()
+	}()
+
+	log.Printf("prestige-server %d/%d listening on %s (leader of view 1: server 1)", *id, *n, tr.Addr())
 	rt.Run()
+	rt.Wait()
+	tr.Close()
+	log.Printf("prestige-server %d stopped", *id)
+}
+
+// healthOf folds the runtime's liveness sample and the transport's peer
+// connectivity into the /healthz document. The replica is healthy when its
+// event loop sampled recently and no peer sits in a redial-backoff window;
+// a draining server always reports unhealthy so probes stop routing to it.
+func healthOf(rt *runtime.Runtime, tr *transport.Transport, draining bool) metrics.Health {
+	h := metrics.Health{Ok: true, Draining: draining, Detail: map[string]string{}}
+	if draining {
+		h.Ok = false
+		h.Detail["draining"] = "shutdown in progress"
+	}
+	view, height, age, ok := rt.HealthSnapshot()
+	switch {
+	case !ok:
+		h.Ok = false
+		h.Detail["loop"] = "no liveness sample yet"
+	case age > 4*time.Second:
+		h.Ok = false
+		h.Detail["loop"] = "stalled: last sample " + age.Truncate(time.Millisecond).String() + " ago"
+	default:
+		h.Detail["view"] = strconv.FormatUint(uint64(view), 10)
+		h.Detail["height"] = strconv.FormatUint(uint64(height), 10)
+	}
+	if dead := tr.Unreachable(); len(dead) > 0 {
+		h.Ok = false
+		h.Detail["peers"] = "unreachable: " + strings.Join(dead, ",")
+	}
+	return h
 }

@@ -18,10 +18,10 @@ type commitEvent struct {
 	txs int
 }
 
-// metrics aggregates everything observable from a live run. Unlike the
+// collector aggregates everything observable from a live run. Unlike the
 // simulator's collector it is written to concurrently by every runtime's
 // event loop, so all state sits behind a mutex.
-type metrics struct {
+type collector struct {
 	env *Env
 
 	mu        sync.Mutex
@@ -38,12 +38,12 @@ type metrics struct {
 	latencies []time.Duration
 }
 
-func newMetrics(e *Env) *metrics {
-	return &metrics{env: e, blockSeen: make(map[types.SeqNum]bool)}
+func newCollector(e *Env) *collector {
+	return &collector{env: e, blockSeen: make(map[types.SeqNum]bool)}
 }
 
 // onCommit records a committed block once, whichever replica reports first.
-func (m *metrics) onCommit(blk *types.TxBlock) {
+func (m *collector) onCommit(blk *types.TxBlock) {
 	at := m.env.scenarioNow()
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -56,7 +56,7 @@ func (m *metrics) onCommit(blk *types.TxBlock) {
 }
 
 // onTrace counts the protocol events the scenario invariants consume.
-func (m *metrics) onTrace(tr consensus.Trace) {
+func (m *collector) onTrace(tr consensus.Trace) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	switch tr.Event {
@@ -75,7 +75,7 @@ func (m *metrics) onTrace(tr consensus.Trace) {
 
 // tps returns committed transactions per second over [from, to) of
 // scenario time, the same window semantics as harness.Metrics.TPS.
-func (m *metrics) tps(from, to time.Duration) float64 {
+func (m *collector) tps(from, to time.Duration) float64 {
 	if to <= from {
 		return 0
 	}
@@ -90,7 +90,7 @@ func (m *metrics) tps(from, to time.Duration) float64 {
 	return float64(txs) / (to - from).Seconds()
 }
 
-func (m *metrics) progress() scenario.Progress {
+func (m *collector) progress() scenario.Progress {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return scenario.Progress{
@@ -104,20 +104,20 @@ func (m *metrics) progress() scenario.Progress {
 	}
 }
 
-func (m *metrics) resetLatencies() {
+func (m *collector) resetLatencies() {
 	m.mu.Lock()
 	m.latencies = m.latencies[:0]
 	m.mu.Unlock()
 }
 
-func (m *metrics) addLatencies(ls []time.Duration) {
+func (m *collector) addLatencies(ls []time.Duration) {
 	m.mu.Lock()
 	m.latencies = append(m.latencies, ls...)
 	m.mu.Unlock()
 }
 
 // latencyPercentile matches harness.Metrics.LatencyPercentile.
-func (m *metrics) latencyPercentile(p float64) time.Duration {
+func (m *collector) latencyPercentile(p float64) time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.latencies) == 0 {

@@ -38,6 +38,7 @@ import (
 	"prestigebft/internal/crypto"
 	"prestigebft/internal/faults"
 	"prestigebft/internal/harness"
+	"prestigebft/internal/metrics"
 	"prestigebft/internal/runtime"
 	"prestigebft/internal/scenario"
 	"prestigebft/internal/transport"
@@ -63,6 +64,9 @@ type Config struct {
 	// penalty unit. Default 2 (fast enough for loopback chaos runs while
 	// keeping the computation real; prestige-server defaults to 4).
 	PuzzleBitsPerRP int
+	// HealthTimeout bounds WaitHealthy's poll for every replica's /healthz
+	// to go green. Default 10s of wall clock.
+	HealthTimeout time.Duration
 	// Logf observes harness events; nil is silent.
 	Logf func(format string, args ...any)
 	// OnTrace, if non-nil, observes every protocol trace with the replica
@@ -83,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PuzzleBitsPerRP == 0 {
 		c.PuzzleBitsPerRP = 2
+	}
+	if c.HealthTimeout == 0 {
+		c.HealthTimeout = 10 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -110,11 +117,46 @@ type server struct {
 	replica consensus.Replica // possibly fault-wrapped
 	wrapper *faults.Wrapper   // nil for unwrapped servers
 
+	// reg persists across crash/recover cycles (like the replica), so
+	// counters survive respawns; adm serves it over HTTP for the whole run.
+	reg *metrics.Registry
+	adm *metrics.AdminServer
+
 	mu      sync.Mutex
 	tr      *transport.Transport
 	lf      *transport.LinkFaults
 	rt      *runtime.Runtime
 	running bool
+}
+
+// health is the slot's /healthz document: runtime loop liveness plus peer
+// connectivity, red while the slot is crashed.
+func (s *server) health() metrics.Health {
+	s.mu.Lock()
+	rt, tr, running := s.rt, s.tr, s.running
+	s.mu.Unlock()
+	h := metrics.Health{Ok: true, Detail: map[string]string{}}
+	if !running || rt == nil {
+		h.Ok = false
+		h.Detail["loop"] = "not running"
+		return h
+	}
+	_, _, age, ok := rt.HealthSnapshot()
+	switch {
+	case !ok:
+		h.Ok = false
+		h.Detail["loop"] = "no liveness sample yet"
+	case age > 4*time.Second:
+		h.Ok = false
+		h.Detail["loop"] = "stalled"
+	}
+	if tr != nil {
+		if dead := tr.Unreachable(); len(dead) > 0 {
+			h.Ok = false
+			h.Detail["peers"] = fmt.Sprintf("%d unreachable", len(dead))
+		}
+	}
+	return h
 }
 
 // deliver routes an inbound envelope to whichever runtime currently hosts
@@ -155,7 +197,7 @@ type Env struct {
 	servers []*server
 	clients []*liveClient
 	peerMap map[types.ServerID]string
-	met     *metrics
+	met     *collector
 
 	events []scheduledEvent
 	stop   chan struct{}
@@ -208,7 +250,7 @@ func New(o harness.Options, cfg Config) (*Env, error) {
 		stop:    make(chan struct{}),
 		crashed: make(map[types.ServerID]bool),
 	}
-	e.met = newMetrics(e)
+	e.met = newCollector(e)
 
 	// Bind every server listener first so the peer map is complete before
 	// any replica exists.
@@ -223,6 +265,16 @@ func New(o harness.Options, cfg Config) (*Env, error) {
 			return nil, fmt.Errorf("listen server %d: %w", id, err)
 		}
 		s.tr, s.lf, s.addr = tr, lf, tr.Addr()
+		// The admin surface outlives crash/recover cycles, like a sidecar
+		// scraper would: its registry is the replica's durable counters.
+		s.reg = metrics.NewRegistry()
+		metrics.RegisterProcessMetrics(s.reg)
+		adm, err := metrics.ServeAdmin("127.0.0.1:0", s.reg, s.health)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("admin server %d: %w", id, err)
+		}
+		s.adm = adm
 		e.peerMap[id] = s.addr
 		e.servers = append(e.servers, s)
 	}
@@ -420,6 +472,11 @@ func (e *Env) Close() {
 	for _, lc := range e.clients {
 		e.retire(lc.tr)
 	}
+	for _, s := range e.servers {
+		if s.adm != nil {
+			s.adm.Close()
+		}
+	}
 }
 
 // spawnRuntime creates and launches a fresh runtime over s's replica. The
@@ -433,6 +490,7 @@ func (e *Env) spawnRuntime(s *server) {
 		Peers:           e.peerMap,
 		Transport:       tr,
 		PuzzleBitsPerRP: e.cfg.PuzzleBitsPerRP,
+		Metrics:         s.reg,
 		OnCommit:        e.met.onCommit,
 		OnTrace: func(tr consensus.Trace) {
 			e.met.onTrace(tr)

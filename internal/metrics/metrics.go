@@ -1,0 +1,505 @@
+// Package metrics is a dependency-free Prometheus client: a registry of
+// counters, gauges, and histograms (all label-aware) that renders the
+// Prometheus text exposition format (version 0.0.4) and parses it back.
+// The container that builds this repo has no network, so the exposition
+// format is hand-rolled on the standard library, the same way internal/lint
+// reimplements go/analysis — the on-wire contract is the spec, not a
+// vendored client.
+//
+// The output is deterministic: families sort by name, children by their
+// canonical (sorted) label rendering, so two gathers of the same state are
+// byte-identical — which is what lets tests assert on scrapes and lets CI
+// diff metric snapshots run over run.
+//
+// Registration is idempotent: registering a name that already exists with
+// the same type, help, and label names returns the existing instrument
+// (a runtime re-instrumenting the same registry across crash/respawn cycles
+// keeps its counters), while a conflicting re-registration panics — that is
+// a programming error, not a runtime condition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is the metric family type.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota + 1
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric family with its children keyed by canonical
+// label rendering.
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string  // registration order
+	buckets    []float64 // histograms only; ascending, +Inf implicit
+	children   map[string]*child
+}
+
+// child is one (labelset, value) pair. Histogram children carry bucket
+// counts instead of a scalar.
+type child struct {
+	labels string   // canonical sorted rendering, "" for the unlabeled child
+	values []string // label values in registration order (for le merging)
+
+	value float64 // counter/gauge
+
+	bucketCounts []uint64 // histogram: observations in (buckets[i-1], buckets[i]]
+	sum          float64
+	count        uint64
+}
+
+// Registry holds metric families and gather hooks.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+
+	gatherKeys []string // hook invocation order (registration order)
+	gather     map[string]func()
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		gather:   make(map[string]func()),
+	}
+}
+
+// OnGather registers fn to run at the start of every Gather/WriteTo, so
+// collect-time mirrors (transport counters, process stats) can refresh
+// their instruments right before exposition. Re-registering a key replaces
+// the previous hook — a harness that replaces a transport across a
+// crash/respawn cycle re-registers under the same key instead of leaking a
+// hook that reads the dead object.
+func (r *Registry) OnGather(key string, fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gather[key]; !ok {
+		r.gatherKeys = append(r.gatherKeys, key)
+	}
+	r.gather[key] = fn
+}
+
+// validName matches the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// register creates or returns the family for name, panicking on any
+// conflicting re-registration.
+func (r *Registry) register(name, help string, kind Kind, buckets []float64, labelNames []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) || strings.HasPrefix(l, "__") || l == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		if f.kind != kind || f.help != help || !equalStrings(f.labelNames, labelNames) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("metrics: conflicting re-registration of %q", name))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		children:   make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically increasing metric family. Use With to select a
+// labeled child; a label-free family's single series is With() with no
+// arguments.
+type Counter struct {
+	r *Registry
+	f *family
+}
+
+// Gauge is a settable metric family.
+type Gauge struct {
+	r *Registry
+	f *family
+}
+
+// Histogram is a bucketed-distribution metric family.
+type Histogram struct {
+	r *Registry
+	f *family
+}
+
+// NewCounter registers (or returns) a counter family.
+func (r *Registry) NewCounter(name, help string, labelNames ...string) *Counter {
+	return &Counter{r, r.register(name, help, KindCounter, nil, labelNames)}
+}
+
+// NewGauge registers (or returns) a gauge family.
+func (r *Registry) NewGauge(name, help string, labelNames ...string) *Gauge {
+	return &Gauge{r, r.register(name, help, KindGauge, nil, labelNames)}
+}
+
+// NewHistogram registers (or returns) a histogram family. Buckets are the
+// ascending upper bounds; the +Inf bucket is implicit.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labelNames ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	return &Histogram{r, r.register(name, help, KindHistogram, buckets, labelNames)}
+}
+
+// canonicalLabels renders labelNames/values as the child key and exposition
+// fragment: pairs sorted by label name, values escaped.
+func canonicalLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return names[idx[a]] < names[idx[b]] })
+	var b strings.Builder
+	for n, i := range idx {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(names[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// child locates or creates the child for the given label values (one per
+// registered label name, in registration order).
+func (f *family) child(reg *Registry, values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %q expects %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := canonicalLabels(f.labelNames, values)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	c := f.children[key]
+	if c == nil {
+		c = &child{labels: key, values: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			c.bucketCounts = make([]uint64, len(f.buckets))
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// CounterChild is one labeled counter series.
+type CounterChild struct {
+	r *Registry
+	c *child
+}
+
+// With selects the labeled series for the given label values (in
+// registration order).
+func (m *Counter) With(values ...string) *CounterChild {
+	return &CounterChild{m.r, m.f.child(m.r, values)}
+}
+
+// Add increments the counter child by v (must be ≥ 0).
+func (cc *CounterChild) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	cc.r.mu.Lock()
+	cc.c.value += v
+	cc.r.mu.Unlock()
+}
+
+// Inc increments the counter child by one.
+func (cc *CounterChild) Inc() { cc.Add(1) }
+
+// Mirror sets the counter child's absolute value from an external monotonic
+// source (a collect-time hook copying e.g. a transport's atomic counters).
+// The source, not this registry, owns monotonicity.
+func (cc *CounterChild) Mirror(v float64) {
+	cc.r.mu.Lock()
+	cc.c.value = v
+	cc.r.mu.Unlock()
+}
+
+// Value reads the child's current value.
+func (cc *CounterChild) Value() float64 {
+	cc.r.mu.Lock()
+	defer cc.r.mu.Unlock()
+	return cc.c.value
+}
+
+// GaugeChild is one labeled gauge series.
+type GaugeChild struct {
+	r *Registry
+	c *child
+}
+
+// With selects the labeled series for the given label values.
+func (m *Gauge) With(values ...string) *GaugeChild {
+	return &GaugeChild{m.r, m.f.child(m.r, values)}
+}
+
+// Set stores v.
+func (gc *GaugeChild) Set(v float64) {
+	gc.r.mu.Lock()
+	gc.c.value = v
+	gc.r.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta (negative allowed).
+func (gc *GaugeChild) Add(delta float64) {
+	gc.r.mu.Lock()
+	gc.c.value += delta
+	gc.r.mu.Unlock()
+}
+
+// Value reads the child's current value.
+func (gc *GaugeChild) Value() float64 {
+	gc.r.mu.Lock()
+	defer gc.r.mu.Unlock()
+	return gc.c.value
+}
+
+// HistogramChild is one labeled histogram series.
+type HistogramChild struct {
+	r *Registry
+	f *family
+	c *child
+}
+
+// With selects the labeled series for the given label values.
+func (m *Histogram) With(values ...string) *HistogramChild {
+	return &HistogramChild{m.r, m.f, m.f.child(m.r, values)}
+}
+
+// Observe records one observation.
+func (hc *HistogramChild) Observe(v float64) {
+	hc.r.mu.Lock()
+	defer hc.r.mu.Unlock()
+	for i, ub := range hc.f.buckets {
+		if v <= ub {
+			hc.c.bucketCounts[i]++
+			break
+		}
+	}
+	hc.c.sum += v
+	hc.c.count++
+}
+
+// Count reads the child's observation count.
+func (hc *HistogramChild) Count() uint64 {
+	hc.r.mu.Lock()
+	defer hc.r.mu.Unlock()
+	return hc.c.count
+}
+
+// escapeLabelValue applies the exposition-format label escaping: backslash,
+// double quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies HELP-line escaping: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus does.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// bucketLabels renders a histogram child's labels with the "le" bound
+// merged into canonical (sorted) position, so bucket sample keys match what
+// SampleKey("...", labels..., "le", bound) produces.
+func bucketLabels(f *family, c *child, bound string) string {
+	names := append(append([]string(nil), f.labelNames...), "le")
+	values := append(append([]string(nil), c.values...), bound)
+	return canonicalLabels(names, values)
+}
+
+// Gather runs the collect hooks and renders the full exposition document.
+func (r *Registry) Gather() []byte {
+	r.mu.Lock()
+	keys := append([]string(nil), r.gatherKeys...)
+	hooks := make([]func(), 0, len(keys))
+	for _, k := range keys {
+		hooks = append(hooks, r.gather[k])
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	famNames := make([]string, 0, len(r.families))
+	for name := range r.families {
+		famNames = append(famNames, name)
+	}
+	sort.Strings(famNames)
+
+	var b strings.Builder
+	for _, name := range famNames {
+		f := r.families[name]
+		if len(f.children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		childKeys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			childKeys = append(childKeys, k)
+		}
+		sort.Strings(childKeys)
+		for _, k := range childKeys {
+			c := f.children[k]
+			switch f.kind {
+			case KindHistogram:
+				cum := uint64(0)
+				for i, ub := range f.buckets {
+					cum += c.bucketCounts[i]
+					writeSample(&b, f.name+"_bucket", bucketLabels(f, c, formatValue(ub)), float64(cum))
+				}
+				writeSample(&b, f.name+"_bucket", bucketLabels(f, c, "+Inf"), float64(c.count))
+				writeSample(&b, f.name+"_sum", c.labels, c.sum)
+				writeSample(&b, f.name+"_count", c.labels, float64(c.count))
+			default:
+				writeSample(&b, f.name, c.labels, c.value)
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// writeSample renders one exposition line.
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// WriteTo renders the exposition document to w.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(r.Gather())
+	return int64(n), err
+}

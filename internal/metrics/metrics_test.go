@@ -1,0 +1,259 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("commits_total", "Committed blocks.")
+	c.With().Add(3)
+	c.With().Inc()
+	want := "# HELP commits_total Committed blocks.\n" +
+		"# TYPE commits_total counter\n" +
+		"commits_total 4\n"
+	if got := string(r.Gather()); got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("weird", `has "quotes", back\slashes and
+newlines in help`, "path")
+	g.With("a\\b\"c\nd").Set(1)
+	out := string(r.Gather())
+	if !strings.Contains(out, `# HELP weird has "quotes", back\\slashes and\nnewlines in help`) {
+		t.Fatalf("HELP escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `weird{path="a\\b\"c\nd"} 1`) {
+		t.Fatalf("label value escaping wrong:\n%s", out)
+	}
+	// Round-trip: the parser must recover the original value.
+	snap, err := Parse([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("weird", "path", "a\\b\"c\nd"); !ok || v != 1 {
+		t.Fatalf("round-trip lookup failed: v=%v ok=%v keys=%v", v, ok, snap.Keys())
+	}
+}
+
+func TestLabelOrderingSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	// Registration order z,a — exposition must sort by label name.
+	c := r.NewCounter("sends_total", "Sends.", "zone", "addr")
+	c.With("west", "10.0.0.1").Inc()
+	c.With("east", "10.0.0.2").Inc()
+	out1 := string(r.Gather())
+	if !strings.Contains(out1, `sends_total{addr="10.0.0.1",zone="west"} 1`) {
+		t.Fatalf("labels not sorted by name:\n%s", out1)
+	}
+	// Children themselves sort by canonical rendering and stay stable
+	// across gathers.
+	i1 := strings.Index(out1, "10.0.0.1")
+	i2 := strings.Index(out1, "10.0.0.2")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Fatalf("children not in sorted order:\n%s", out1)
+	}
+	if out2 := string(r.Gather()); out2 != out1 {
+		t.Fatalf("gather not deterministic:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestFamiliesSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("zzz", "Last.").With().Set(1)
+	r.NewGauge("aaa", "First.").With().Set(1)
+	out := string(r.Gather())
+	if strings.Index(out, "aaa") > strings.Index(out, "zzz") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.With().Observe(v)
+	}
+	out := string(r.Gather())
+	// Cumulative: ≤0.01 → 1, ≤0.1 → 3, ≤1 → 4, +Inf → 5.
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 5.605`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	snap, err := Parse([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.Value("latency_seconds_bucket", "le", "0.1"); v != 3 {
+		t.Fatalf("parsed le=0.1 bucket = %v, want 3", v)
+	}
+	if v, _ := snap.Value("latency_seconds_count"); v != 5 {
+		t.Fatalf("parsed count = %v, want 5", v)
+	}
+}
+
+func TestHistogramLabeled(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rt_seconds", "RT.", []float64{1}, "op")
+	h.With("commit").Observe(0.5)
+	h.With("commit").Observe(2)
+	out := string(r.Gather())
+	for _, want := range []string{
+		`rt_seconds_bucket{le="1",op="commit"} 1`,
+		`rt_seconds_bucket{le="+Inf",op="commit"} 2`,
+		`rt_seconds_sum{op="commit"} 2.5`,
+		`rt_seconds_count{op="commit"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "X.", "id")
+	b := r.NewCounter("x_total", "X.", "id")
+	a.With("1").Add(2)
+	b.With("1").Add(3)
+	if v := a.With("1").Value(); v != 5 {
+		t.Fatalf("re-registration did not share state: %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "X.", "id")
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "C.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.With().Add(-1)
+}
+
+func TestSnapshotSum(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("sent_total", "Sent.", "peer")
+	c.With("1").Add(10)
+	c.With("2").Add(7)
+	snap, err := Parse(r.Gather())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Sum("sent_total"); got != 17 {
+		t.Fatalf("Sum = %v, want 17", got)
+	}
+	// Sum must not swallow other families sharing a prefix.
+	r.NewCounter("sent_total_bytes", "Bytes.").With().Add(99)
+	snap, _ = Parse(r.Gather())
+	if got := snap.Sum("sent_total"); got != 17 {
+		t.Fatalf("Sum matched prefix family: %v, want 17", got)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g", "G.")
+	g.With().Set(math.Inf(1))
+	snap, err := Parse(r.Gather())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.Value("g"); !math.IsInf(v, 1) {
+		t.Fatalf("+Inf round-trip got %v", v)
+	}
+}
+
+func TestOnGatherReplace(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("hooked", "H.")
+	r.OnGather("k", func() { g.With().Set(1) })
+	r.OnGather("k", func() { g.With().Set(2) })
+	r.Gather()
+	if v := g.With().Value(); v != 2 {
+		t.Fatalf("hook not replaced: %v", v)
+	}
+}
+
+func TestAdminServer(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("served_total", "S.").With().Add(4)
+	draining := false
+	adm, err := ServeAdmin("127.0.0.1:0", r, func() Health {
+		return Health{Ok: !draining, Draining: draining}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+
+	resp, err := http.Get("http://" + adm.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	snap, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.Value("served_total"); v != 4 {
+		t.Fatalf("scraped served_total = %v", v)
+	}
+
+	hr, err := http.Get("http://" + adm.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", hr.StatusCode)
+	}
+	draining = true
+	hr, err = http.Get("http://" + adm.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", hr.StatusCode)
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	snap, err := Parse(r.Gather())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("go_goroutines"); !ok || v < 1 {
+		t.Fatalf("go_goroutines = %v ok=%v", v, ok)
+	}
+	if v, ok := snap.Value("go_memstats_heap_inuse_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap_inuse = %v ok=%v", v, ok)
+	}
+}

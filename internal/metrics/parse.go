@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a parsed exposition document: sample keys in canonical
+// `name{a="b",c="d"}` form (labels sorted by name) mapped to values. It is
+// what liveharness hands the scenario engine after scraping a replica, and
+// what the soak gate diffs across time.
+type Snapshot map[string]float64
+
+// SampleKey renders the canonical key for a metric name and label pairs
+// given as alternating name, value strings.
+func SampleKey(name string, labelPairs ...string) string {
+	if len(labelPairs)%2 != 0 {
+		panic("metrics: SampleKey wants alternating label name, value pairs")
+	}
+	if len(labelPairs) == 0 {
+		return name
+	}
+	names := make([]string, 0, len(labelPairs)/2)
+	values := make([]string, 0, len(labelPairs)/2)
+	for i := 0; i < len(labelPairs); i += 2 {
+		names = append(names, labelPairs[i])
+		values = append(values, labelPairs[i+1])
+	}
+	return name + "{" + canonicalLabels(names, values) + "}"
+}
+
+// Value looks up one sample; ok reports whether it exists.
+func (s Snapshot) Value(name string, labelPairs ...string) (float64, bool) {
+	v, ok := s[SampleKey(name, labelPairs...)]
+	return v, ok
+}
+
+// Sum adds every sample of the named family across all label sets, so
+// callers can aggregate e.g. per-peer counters without enumerating peers.
+func (s Snapshot) Sum(name string) float64 {
+	total := 0.0
+	for k, v := range s {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Keys returns the sample keys in sorted order (for deterministic dumps).
+func (s Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Parse reads a Prometheus text exposition document into a Snapshot. It
+// accepts the subset this package emits (and that real Prometheus servers
+// emit for counters/gauges/histograms): comment lines, blank lines, and
+// `name[{labels}] value [timestamp]` sample lines.
+func Parse(doc []byte) (Snapshot, error) {
+	snap := make(Snapshot)
+	sc := bufio.NewScanner(strings.NewReader(string(doc)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, err := parseSampleKey(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("metrics: line %d: missing value", lineNo)
+		}
+		v, err := parseFloat(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: bad value %q", lineNo, fields[0])
+		}
+		snap[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSampleKey splits one sample line into its canonical key and the
+// remainder (value and optional timestamp), re-sorting labels so keys from
+// any well-formed producer compare equal.
+func parseSampleKey(line string) (key, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return "", "", fmt.Errorf("malformed sample %q", line)
+		}
+		return line[:sp], line[sp:], nil
+	}
+	name := line[:brace]
+	names, values, rest, err := parseLabels(line[brace+1:])
+	if err != nil {
+		return "", "", err
+	}
+	return name + "{" + canonicalLabels(names, values) + "}", rest, nil
+}
+
+// parseLabels consumes `a="b",c="d"}` from s, returning the pairs and what
+// follows the closing brace.
+func parseLabels(s string) (names, values []string, rest string, err error) {
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return names, values, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, nil, "", fmt.Errorf("malformed labels near %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		value, remain, err := unquoteLabelValue(s[1:])
+		if err != nil {
+			return nil, nil, "", err
+		}
+		names = append(names, name)
+		values = append(values, value)
+		s = strings.TrimLeft(remain, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// unquoteLabelValue reads an escaped label value up to its closing quote.
+func unquoteLabelValue(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				// Per spec, unknown escapes pass the character through.
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}

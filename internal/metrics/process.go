@@ -1,0 +1,27 @@
+package metrics
+
+import "runtime"
+
+// RegisterProcessMetrics exports the Go runtime stats the soak gate watches:
+// goroutine count (leak detection across churn) and heap occupancy (memory
+// flatness, i.e. checkpoint compaction actually releasing history). Values
+// refresh via an OnGather hook, so every scrape sees the current process
+// state.
+func RegisterProcessMetrics(r *Registry) {
+	goroutines := r.NewGauge("go_goroutines",
+		"Number of goroutines that currently exist.").With()
+	heapInuse := r.NewGauge("go_memstats_heap_inuse_bytes",
+		"Bytes in in-use heap spans.").With()
+	heapAlloc := r.NewGauge("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.").With()
+	totalAlloc := r.NewCounter("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.").With()
+	r.OnGather("process", func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapInuse.Set(float64(ms.HeapInuse))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		totalAlloc.Mirror(float64(ms.TotalAlloc))
+	})
+}

@@ -10,10 +10,12 @@ import (
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prestigebft/internal/consensus"
 	"prestigebft/internal/crypto"
+	"prestigebft/internal/metrics"
 	"prestigebft/internal/transport"
 	"prestigebft/internal/types"
 )
@@ -47,6 +49,13 @@ type Config struct {
 	// the same replica passes the original epoch so the replica's clock
 	// never runs backwards across the restart.
 	Epoch time.Time
+	// Metrics, when non-nil, receives the replica instrumentation: commit
+	// and trace counters from the event loop, state gauges sampled every
+	// sampleInterval on the loop goroutine (the replica's owner, so
+	// sampling is race-free), and a mirror of the transport's counters.
+	// Registration is idempotent, so a harness re-hosting a replica in a
+	// fresh runtime passes the same registry and counters continue.
+	Metrics *metrics.Registry
 }
 
 type timerKey struct {
@@ -76,6 +85,15 @@ type Runtime struct {
 	start time.Time
 
 	events chan any
+	ins    *instruments
+
+	// Health snapshot, written by the event loop's sampler and read by the
+	// /healthz handler goroutine: the replica's last observed view and
+	// height, and when the loop last proved it was alive.
+	healthView     atomic.Uint64
+	healthHeight   atomic.Uint64
+	healthSampled  atomic.Int64 // UnixNano of the last sample
+	healthObserved atomic.Bool  // whether the replica exports state at all
 
 	mu          sync.Mutex
 	clientAddrs map[types.ClientID]string
@@ -109,7 +127,7 @@ func New(cfg Config) *Runtime {
 	if seed == 0 {
 		seed = time.Now().UnixNano() ^ int64(cfg.Replica.ID())
 	}
-	return &Runtime{
+	rt := &Runtime{
 		cfg:         cfg,
 		start:       cfg.Epoch,
 		events:      make(chan any, 4096),
@@ -119,6 +137,30 @@ func New(cfg Config) *Runtime {
 		done:        make(chan struct{}),
 		rng:         rand.New(rand.NewSource(seed)),
 	}
+	if cfg.Metrics != nil {
+		rt.ins = newInstruments(cfg.Metrics)
+		if cfg.Transport != nil {
+			RegisterTransportMetrics(cfg.Metrics, cfg.Transport)
+		}
+	}
+	return rt
+}
+
+// HealthSnapshot reports the event loop's liveness as seen by its gauge
+// sampler: the last sampled view and chain height, and how long ago the
+// sample ran. ok is false until the first sample lands (or always, when the
+// runtime has no metrics registry). View and height stay zero for replicas
+// that export no state (fault wrappers); the sample age still proves the
+// loop is alive.
+func (rt *Runtime) HealthSnapshot() (view types.View, height types.SeqNum, age time.Duration, ok bool) {
+	if !rt.healthObserved.Load() {
+		return 0, 0, 0, false
+	}
+	at := rt.healthSampled.Load()
+	return types.View(rt.healthView.Load()),
+		types.SeqNum(rt.healthHeight.Load()),
+		time.Duration(time.Now().UnixNano() - at),
+		at != 0
 }
 
 // RegisterClient records where Notif messages for a client should go.
@@ -151,11 +193,26 @@ func (rt *Runtime) now() time.Duration { return time.Since(rt.start) }
 // Run executes the replica event loop until Stop.
 func (rt *Runtime) Run() {
 	defer close(rt.done)
+	// The sampler ticks whenever a metrics registry is attached: health
+	// liveness comes from the tick itself, so even a replica that exports
+	// no state (a Byzantine fault wrapper) proves its loop is alive.
+	// State gauges additionally need the replica to be observable.
+	var sampleC <-chan time.Time
+	obs, _ := rt.cfg.Replica.(observable)
+	if rt.ins != nil {
+		rt.healthObserved.Store(true)
+		ticker := time.NewTicker(sampleInterval)
+		defer ticker.Stop()
+		sampleC = ticker.C
+		rt.sample(obs)
+	}
 	rt.execute(rt.cfg.Replica.Init(rt.now()))
 	for {
 		select {
 		case <-rt.stopped:
 			return
+		case <-sampleC:
+			rt.sample(obs)
 		case ev := <-rt.events:
 			switch e := ev.(type) {
 			case inboundEvent:
@@ -198,9 +255,9 @@ func (rt *Runtime) execute(effs []consensus.Effect) {
 			addr, ok := rt.clientAddrs[ef.To]
 			rt.mu.Unlock()
 			if ok {
-				if err := rt.cfg.Transport.Send(addr, ef.Msg); err != nil {
-					rt.cfg.Logf("send client %d: %v", ef.To, err)
-				}
+				// Loss is within the fault model; the transport logs
+				// unreachable/recovered transitions once per episode.
+				rt.cfg.Transport.Send(addr, ef.Msg)
 			}
 		case consensus.SetTimer:
 			rt.setTimer(ef)
@@ -221,10 +278,12 @@ func (rt *Runtime) execute(effs []consensus.Effect) {
 			}
 			rt.mu.Unlock()
 		case consensus.Commit:
+			rt.ins.onCommit(len(ef.Block.Txs))
 			if rt.cfg.OnCommit != nil {
 				rt.cfg.OnCommit(ef.Block)
 			}
 		case consensus.Trace:
+			rt.ins.onTrace(ef, time.Now())
 			if rt.cfg.OnTrace != nil {
 				rt.cfg.OnTrace(ef)
 			}
@@ -232,15 +291,27 @@ func (rt *Runtime) execute(effs []consensus.Effect) {
 	}
 }
 
+// sample refreshes gauges and the health snapshot from the replica. Runs on
+// the event loop goroutine only.
+func (rt *Runtime) sample(obs observable) {
+	if obs != nil {
+		rt.ins.sample(obs, rt.cfg.Replica.ID())
+		rt.healthView.Store(uint64(obs.View()))
+		rt.healthHeight.Store(uint64(obs.ChainHeight()))
+	}
+	rt.healthSampled.Store(time.Now().UnixNano())
+}
+
 func (rt *Runtime) sendServer(to types.ServerID, msg types.Message) {
 	addr, ok := rt.cfg.Peers[to]
 	if !ok {
 		return
 	}
-	if err := rt.cfg.Transport.Send(addr, msg); err != nil {
-		// Loss is within the fault model; log at low volume.
-		rt.cfg.Logf("send server %d: %v", to, err)
-	}
+	// Loss is within the fault model. Per-send error logging used to flood
+	// the log with one line per attempt against a dead peer; the transport
+	// now counts every failure (Stats/PeerStats) and logs only the
+	// unreachable → backoff-capped → recovered transitions.
+	rt.cfg.Transport.Send(addr, msg)
 }
 
 func (rt *Runtime) setTimer(ef consensus.SetTimer) {

@@ -36,6 +36,12 @@ func Builtin() []*Scenario {
 			Invariants: Invariants{
 				RecoverWithin:     8 * time.Second,
 				RequireViewChange: true,
+				Metrics: &MetricInvariants{
+					MinSteadyCommitRate: 2,
+					RequireRecovery:     true,
+					MaxGoroutineGrowth:  200,
+					MaxHeapGrowthFactor: 4,
+				},
 			},
 		},
 		{
@@ -196,7 +202,15 @@ func Builtin() []*Scenario {
 				}},
 				{At: 9 * time.Second, Action: Restore{}},
 			},
-			Invariants: Invariants{RecoverWithin: 8 * time.Second},
+			Invariants: Invariants{
+				RecoverWithin: 8 * time.Second,
+				Metrics: &MetricInvariants{
+					MinSteadyCommitRate: 2,
+					RequireRecovery:     true,
+					MaxGoroutineGrowth:  200,
+					MaxHeapGrowthFactor: 4,
+				},
+			},
 		},
 		{
 			Name:        "late-joiner-catchup",

@@ -69,6 +69,13 @@ type Invariants struct {
 	// claim of checkpoint compaction. Servers below the bound's reach
 	// (crashed at the end) are still checked: their ledgers are readable.
 	MaxLedgerBlocks int
+	// Metrics declares scrape-backed invariants (metrics.go): the
+	// steady-state hypothesis and recovery detection read from each
+	// replica's /metrics endpoint instead of in-process counters. Evaluated
+	// only in environments exposing a scrape surface (the live harness);
+	// the simulator skips them, so the deterministic sim trajectory is
+	// untouched.
+	Metrics *MetricInvariants
 }
 
 // Scenario is one declarative chaos workload.
@@ -313,7 +320,31 @@ func (s *Scenario) RunWith(newEnv func(harness.Options) (Environment, error)) *R
 		env.Schedule(ev.At, func() { a.apply(env) })
 	}
 
+	// Metric-backed invariants need scrape points; they exist only where
+	// the environment exposes a scrape surface (live harness).
+	var scrapes *metricScrapes
+	me, scrapable := env.(MetricsEnvironment)
+	if scrapable && s.Invariants.Metrics.active() {
+		scrapes = &metricScrapes{}
+		if s.Invariants.Metrics.RequireRecovery && len(s.Events) > 0 {
+			// Registered after the scenario's own events at the same
+			// offset, so it scrapes the instant the last (healing) event
+			// has been applied — the recovery-detection baseline.
+			sc := scrapes
+			env.Schedule(s.lastEventAt(), func() { sc.setPostHeal(me.ScrapeAll()) })
+		}
+	}
+
 	env.Start()
+	// Chaos only lands on a provably healthy cluster: when the environment
+	// exposes /healthz, every replica must answer green before the run
+	// proceeds (live-smoke's precondition).
+	if hw, ok := env.(HealthEnvironment); ok {
+		if err := hw.WaitHealthy(); err != nil {
+			rep.Violations = append(rep.Violations, "healthz: "+err.Error())
+			return rep
+		}
+	}
 	warm := s.warmup()
 	env.RunUntil(warm)
 	rep.SteadyTPS = env.TPS(0, warm)
@@ -322,10 +353,19 @@ func (s *Scenario) RunWith(newEnv func(harness.Options) (Environment, error)) *R
 			fmt.Sprintf("steady-state: no commits during the %v warmup, refusing to inject faults into an unhealthy cluster", warm))
 		return rep
 	}
+	if scrapes != nil {
+		scrapes.steady = me.ScrapeAll()
+	}
 	env.RunUntil(s.Span)
+	if scrapes != nil {
+		// Final scrape happens before Close — a closed environment's admin
+		// endpoints are gone, like any stopped process's.
+		scrapes.final = me.ScrapeAll()
+	}
 	env.Close()
 
 	s.evaluate(env, rep)
+	s.evaluateMetrics(scrapes, rep)
 	return rep
 }
 

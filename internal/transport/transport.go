@@ -48,6 +48,34 @@ type Stats struct {
 	Bytes     uint64
 }
 
+// PeerStats is the per-peer slice of the traffic counters, plus the
+// connection-lifecycle events that used to be invisible: dials (successful),
+// redials (successful dials after the first), evictions (cached connections
+// discarded on encode failure), and backoff-refused sends (dropped without
+// dialing because the peer's redial backoff window was still open).
+type PeerStats struct {
+	Sent           uint64
+	Dropped        uint64
+	Bytes          uint64
+	Dials          uint64
+	Redials        uint64
+	Evictions      uint64
+	BackoffRefused uint64
+}
+
+// peerCounters is the mutable form of PeerStats. Scalar fields are guarded
+// by Transport.mu; bytes is atomic because the gob counting writer runs
+// outside the lock.
+type peerCounters struct {
+	sent           uint64
+	dropped        uint64
+	dials          uint64
+	redials        uint64
+	evictions      uint64
+	backoffRefused uint64
+	bytes          atomic.Uint64
+}
+
 // Redial backoff: after a send to a peer fails, further sends fail fast
 // (without dialing) until the backoff window expires. The window doubles
 // per consecutive failure from backoffBase up to backoffCap, and resets on
@@ -60,6 +88,7 @@ const (
 type backoffState struct {
 	failures int
 	until    time.Time
+	capped   bool // whether the cap transition was logged this episode
 }
 
 // Transport is one process's TCP endpoint.
@@ -68,14 +97,17 @@ type Transport struct {
 	listener net.Listener
 	handler  Handler
 
-	sent      atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
-	bytes     atomic.Uint64
+	sent            atomic.Uint64
+	delivered       atomic.Uint64
+	dropped         atomic.Uint64
+	bytes           atomic.Uint64
+	sendsAfterClose atomic.Uint64
 
 	mu       sync.Mutex
 	conns    map[string]*conn
 	backoff  map[string]*backoffState
+	peers    map[string]*peerCounters
+	logf     func(format string, args ...any)
 	faults   *LinkFaults
 	delayq   map[string]chan delayedMsg
 	accepted map[net.Conn]struct{}
@@ -110,15 +142,20 @@ type conn struct {
 	c   net.Conn
 }
 
-// countingWriter counts the bytes gob actually puts on the wire.
+// countingWriter counts the bytes gob actually puts on the wire, both
+// globally and against the destination peer.
 type countingWriter struct {
-	w net.Conn
-	n *atomic.Uint64
+	w  net.Conn
+	n  *atomic.Uint64
+	pn *atomic.Uint64
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n.Add(uint64(n))
+	if cw.pn != nil {
+		cw.pn.Add(uint64(n))
+	}
 	return n, err
 }
 
@@ -127,10 +164,70 @@ func newTransport(self Envelope) *Transport {
 		self:     self,
 		conns:    make(map[string]*conn),
 		backoff:  make(map[string]*backoffState),
+		peers:    make(map[string]*peerCounters),
 		delayq:   make(map[string]chan delayedMsg),
 		accepted: make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
+}
+
+// SetLogf installs a logger for connection-lifecycle transitions (peer
+// unreachable, backoff capped, peer recovered). Transitions log once per
+// episode, not once per attempt; nil (the default) silences them.
+func (t *Transport) SetLogf(logf func(format string, args ...any)) {
+	t.mu.Lock()
+	t.logf = logf
+	t.mu.Unlock()
+}
+
+// peer returns addr's counters, creating them on first touch. Caller holds
+// t.mu.
+func (t *Transport) peer(addr string) *peerCounters {
+	pc := t.peers[addr]
+	if pc == nil {
+		pc = &peerCounters{}
+		t.peers[addr] = pc
+	}
+	return pc
+}
+
+// PeerStats snapshots the per-peer counters, keyed by peer address.
+func (t *Transport) PeerStats() map[string]PeerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]PeerStats, len(t.peers))
+	for addr, pc := range t.peers {
+		out[addr] = PeerStats{
+			Sent:           pc.sent,
+			Dropped:        pc.dropped,
+			Bytes:          pc.bytes.Load(),
+			Dials:          pc.dials,
+			Redials:        pc.redials,
+			Evictions:      pc.evictions,
+			BackoffRefused: pc.backoffRefused,
+		}
+	}
+	return out
+}
+
+// SendsAfterClose counts sends refused because the transport was already
+// closed — nonzero means some component kept transmitting past shutdown.
+func (t *Transport) SendsAfterClose() uint64 { return t.sendsAfterClose.Load() }
+
+// Unreachable lists the peers currently inside a redial-backoff window —
+// the transport's view of "who looks dead right now", which /healthz folds
+// into peer connectivity.
+func (t *Transport) Unreachable() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	var out []string
+	for addr, bo := range t.backoff {
+		if bo.failures > 0 && now.Before(bo.until) {
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 // NewServerTransport creates a transport that stamps outbound messages with
@@ -227,10 +324,13 @@ func (t *Transport) readLoop(c net.Conn) {
 // drainer transmits in send order (TCP in-order semantics preserved).
 func (t *Transport) Send(addr string, msg types.Message) error {
 	t.sent.Add(1)
+	t.mu.Lock()
+	t.peer(addr).sent++
+	t.mu.Unlock()
 	if f := t.Faults(); f != nil {
 		drop, delay := f.plan(addr)
 		if drop {
-			t.dropped.Add(1)
+			t.dropPeer(addr)
 			return nil
 		}
 		if delay > 0 {
@@ -241,13 +341,23 @@ func (t *Transport) Send(addr string, msg types.Message) error {
 	return t.transmit(addr, msg)
 }
 
+// dropPeer records one dropped message globally and against addr.
+func (t *Transport) dropPeer(addr string) {
+	t.dropped.Add(1)
+	t.mu.Lock()
+	t.peer(addr).dropped++
+	t.mu.Unlock()
+}
+
 // enqueueDelayed appends a latency-injected message to addr's FIFO delay
 // queue, spawning its drainer on first use.
 func (t *Transport) enqueueDelayed(addr string, dm delayedMsg) {
 	t.mu.Lock()
 	if t.closed {
+		t.peer(addr).dropped++
 		t.mu.Unlock()
 		t.dropped.Add(1)
+		t.sendsAfterClose.Add(1)
 		return
 	}
 	q, ok := t.delayq[addr]
@@ -260,7 +370,7 @@ func (t *Transport) enqueueDelayed(addr string, dm delayedMsg) {
 	select {
 	case q <- dm:
 	default:
-		t.dropped.Add(1) // saturated slow link: tail drop
+		t.dropPeer(addr) // saturated slow link: tail drop
 	}
 }
 
@@ -298,13 +408,18 @@ func (t *Transport) drainDelayed(addr string, q chan delayedMsg) {
 func (t *Transport) transmit(addr string, msg types.Message) error {
 	t.mu.Lock()
 	if t.closed {
+		t.peer(addr).dropped++
 		t.mu.Unlock()
 		t.dropped.Add(1)
+		t.sendsAfterClose.Add(1)
 		return fmt.Errorf("send %s: transport closed", addr)
 	}
 	cn, ok := t.conns[addr]
 	if !ok {
 		if bo := t.backoff[addr]; bo != nil && time.Now().Before(bo.until) {
+			pc := t.peer(addr)
+			pc.dropped++
+			pc.backoffRefused++
 			t.mu.Unlock()
 			t.dropped.Add(1)
 			return fmt.Errorf("send %s: backing off after %d failures", addr, bo.failures)
@@ -315,17 +430,24 @@ func (t *Transport) transmit(addr string, msg types.Message) error {
 	if !ok {
 		raw, err := net.Dial("tcp", addr)
 		if err != nil {
-			t.dropped.Add(1)
+			t.dropPeer(addr)
 			t.noteFailure(addr)
 			return fmt.Errorf("dial %s: %w", addr, err)
 		}
-		cn = &conn{enc: gob.NewEncoder(&countingWriter{w: raw, n: &t.bytes}), c: raw}
 		t.mu.Lock()
+		pc := t.peer(addr)
+		pc.dials++
+		if pc.dials > 1 {
+			pc.redials++
+		}
+		cn = &conn{enc: gob.NewEncoder(&countingWriter{w: raw, n: &t.bytes, pn: &pc.bytes}), c: raw}
 		switch {
 		case t.closed:
+			pc.dropped++
 			t.mu.Unlock()
 			cn.c.Close()
 			t.dropped.Add(1)
+			t.sendsAfterClose.Add(1)
 			return fmt.Errorf("send %s: transport closed", addr)
 		case t.conns[addr] != nil:
 			// Raced with a concurrent dial; use the winner.
@@ -348,8 +470,11 @@ func (t *Transport) transmit(addr string, msg types.Message) error {
 		// redials instead of failing against a cached corpse forever.
 		t.dropped.Add(1)
 		t.mu.Lock()
+		pc := t.peer(addr)
+		pc.dropped++
 		if t.conns != nil && t.conns[addr] == cn {
 			delete(t.conns, addr)
+			pc.evictions++
 		}
 		t.mu.Unlock()
 		cn.c.Close()
@@ -360,11 +485,13 @@ func (t *Transport) transmit(addr string, msg types.Message) error {
 	return nil
 }
 
-// noteFailure advances addr's backoff window (doubling, capped).
+// noteFailure advances addr's backoff window (doubling, capped), logging
+// the two one-way transitions of an episode: entering backoff on the first
+// failure, and hitting the cap.
 func (t *Transport) noteFailure(addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return
 	}
 	bo := t.backoff[addr]
@@ -378,15 +505,38 @@ func (t *Transport) noteFailure(addr string) {
 		d = backoffCap
 	}
 	bo.until = time.Now().Add(d)
-}
-
-// noteSuccess clears addr's backoff state after a delivered send.
-func (t *Transport) noteSuccess(addr string) {
-	t.mu.Lock()
-	if t.backoff[addr] != nil {
-		delete(t.backoff, addr)
+	logf := t.logf
+	entered := bo.failures == 1
+	hitCap := d == backoffCap && !bo.capped
+	if hitCap {
+		bo.capped = true
 	}
 	t.mu.Unlock()
+	if logf == nil {
+		return
+	}
+	if entered {
+		logf("transport: peer %s unreachable, backing off from %v", addr, backoffBase)
+	}
+	if hitCap {
+		logf("transport: peer %s backoff capped at %v", addr, backoffCap)
+	}
+}
+
+// noteSuccess clears addr's backoff state after a delivered send, logging
+// the recovery transition when the peer had been failing.
+func (t *Transport) noteSuccess(addr string) {
+	t.mu.Lock()
+	var recovered int
+	if bo := t.backoff[addr]; bo != nil {
+		recovered = bo.failures
+		delete(t.backoff, addr)
+	}
+	logf := t.logf
+	t.mu.Unlock()
+	if recovered > 0 && logf != nil {
+		logf("transport: peer %s recovered after %d failed attempts", addr, recovered)
+	}
 }
 
 // Close shuts the listener and all connections — outbound and accepted

@@ -3,8 +3,14 @@
 // fails on throughput regressions.
 //
 //	go run ./scripts -baseline-glob 'BENCH_PR*.json' -new bench-ci.json
+//	go run ./scripts -new bench-ci-w8.json -expect-identical bench-ci-w1.json
 //
 // Gating rules:
+//   - -expect-identical compares -new byte-for-byte against another
+//     generated document (the 1-worker run of the same trajectory) and
+//     fails hard on any difference, naming the first diverging data point —
+//     the simulation engine's determinism contract, gated rather than
+//     delegated to a silent cmp(1);
 //   - every throughput metric ("tps", "mean_tps", and scenario "steady_tps")
 //     present in both documents must not drop more than -threshold (default
 //     10%) below the baseline; post-fault "final_tps" is deliberately not
@@ -106,11 +112,16 @@ func main() {
 	baselineGlob := flag.String("baseline-glob", "BENCH_PR*.json", "glob for committed baseline documents; the match with the highest numeric suffix is used")
 	newPath := flag.String("new", "", "freshly generated bench document (required)")
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional throughput drop")
+	expectIdentical := flag.String("expect-identical", "", "fail unless -new is byte-identical to this document (the cross-worker determinism gate)")
 	flag.Parse()
 
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "bench_compare: -new is required")
 		os.Exit(2)
+	}
+	if *expectIdentical != "" {
+		checkIdentical(*newPath, *expectIdentical)
+		return
 	}
 	matches, err := filepath.Glob(*baselineGlob)
 	if err != nil {
@@ -188,4 +199,57 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// checkIdentical enforces the cross-worker determinism gate: the two
+// documents must match byte for byte. On divergence it reports the byte
+// offset and, when both parse, the first data point whose value differs —
+// far more actionable than cmp(1)'s offset alone.
+func checkIdentical(newPath, wantPath string) {
+	a, err := os.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(wantPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+	if string(a) == string(b) {
+		fmt.Printf("bench_compare: %s and %s are byte-identical (%d bytes)\n", newPath, wantPath, len(a))
+		return
+	}
+	off := 0
+	for off < len(a) && off < len(b) && a[off] == b[off] {
+		off++
+	}
+	fmt.Printf("FAIL determinism: %s and %s diverge at byte %d (sizes %d vs %d)\n",
+		newPath, wantPath, off, len(a), len(b))
+	da, errA := loadBytes(newPath, a)
+	db, errB := loadBytes(wantPath, b)
+	if errA == nil && errB == nil {
+		ia, ib := index(da), index(db)
+		keys := make([]entry, 0, len(ia))
+		for k := range ia {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, k := range keys {
+			if v, ok := ib[k]; !ok || v != ia[k] {
+				fmt.Printf("first diverging data point: %s = %v vs %v (present=%v)\n", k, ia[k], v, ok)
+				break
+			}
+		}
+	}
+	os.Exit(1)
+}
+
+// loadBytes parses an already-read document.
+func loadBytes(path string, data []byte) (*doc, error) {
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
 }
