@@ -5,7 +5,7 @@ GO ?= go
 # against the last committed BENCH_*.json.
 BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke fuzz fuzz-live soak clean
+.PHONY: build test vet lint lint-tool bench bench-json bench-json-all bench-compare scenarios scenarios-live live-smoke fuzz fuzz-live fuzz-codec livebench soak clean
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,20 @@ fuzz:
 fuzz-live:
 	$(GO) run ./cmd/prestige-bench -fuzz 5 -fuzz-seed $(FUZZ_SEED) -live
 
+# Coverage-guided fuzzing of the binary wire codec against gob: anything
+# that decodes must re-encode and round-trip identically through both
+# codecs. CI runs this leg on every PR.
+FUZZ_CODEC_TIME ?= 30s
+fuzz-codec:
+	$(GO) test -fuzz=FuzzCodecGobEquivalence -fuzztime=$(FUZZ_CODEC_TIME) ./internal/transport/codec
+
+# The live fast-lane microbenchmark: codec × verify pipeline × window over
+# loopback clusters, with per-cell CPU profiles. Compare against the
+# committed LIVEBENCH_PR<k>.json — ratios, not absolutes.
+livebench:
+	$(GO) run ./cmd/prestige-bench -livebench \
+		-livebench-pprof livebench-pprof -json LIVEBENCH.json
+
 # The nightly soak gate, locally: SOAK_DUR of live cluster under rolling
 # follower churn, scraped at baseline/mid/end, exiting nonzero unless every
 # resource-flatness gate (ledger, heap, goroutines, p99) holds. Verdict JSON
@@ -94,5 +108,5 @@ soak:
 		-soak-out soak-verdict.json -soak-metrics-dir soak-metrics
 
 clean:
-	rm -f bench.json soak-verdict.json
-	rm -rf bin fuzz-failures soak-metrics
+	rm -f bench.json soak-verdict.json LIVEBENCH.json
+	rm -rf bin fuzz-failures soak-metrics livebench-pprof

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
+
+	"prestigebft/internal/harness"
+	"prestigebft/internal/liveharness"
+	"prestigebft/internal/sim"
+)
+
+// Livebench-mode shape: a fault-free 4-replica live cluster on loopback with
+// zero injected latency, so the commit path is CPU-bound and the sweep
+// measures what the fast lane actually changes — signature verification,
+// wire encoding, and event-loop occupancy — not the fault fabric.
+const (
+	livebenchWarmup = 5 * time.Second
+	livebenchSeed   = 777
+)
+
+// livebenchCell is one sweep point: a wire codec crossed with the verify
+// pipeline on or off, at one replication window.
+type livebenchCell struct {
+	codec string
+	pool  bool
+	depth int
+}
+
+// cellLabel names a cell in rows, pprof files, and progress lines.
+func (c livebenchCell) String() string {
+	pool := "nopool"
+	if c.pool {
+		pool = "pool"
+	}
+	return fmt.Sprintf("%s-%s-w%d", c.codec, pool, c.depth)
+}
+
+// runLivebench sweeps codec × verify-pipeline × window over live loopback
+// clusters and reports live_tps per cell plus the headline speedup of the
+// full fast lane (binary+pool) over the legacy path (gob+nopool) at each
+// window. Every cell is measured in the same run on the same host, so the
+// ratio is apples-to-apples; absolute numbers are machine-dependent and the
+// metric names are deliberately outside bench_compare's gated set.
+func runLivebench(window time.Duration, clients int, pprofDir, jsonPath string) {
+	cells := []livebenchCell{
+		{"gob", false, 1}, {"gob", false, 8},
+		{"gob", true, 1}, {"gob", true, 8},
+		{"binary", false, 1}, {"binary", false, 8},
+		{"binary", true, 1}, {"binary", true, 8},
+	}
+	res := &harness.Result{
+		Name: "Live fast-lane sweep",
+		Notes: fmt.Sprintf("loopback cluster, zero injected latency, %d clients, %v window after %v warmup; "+
+			"live_tps is wall-clock and machine-dependent — compare ratios, not absolutes", clients, window, livebenchWarmup),
+	}
+	start := time.Now()
+	tpsBy := make(map[string]float64, len(cells))
+	for _, cell := range cells {
+		fmt.Printf("livebench %-20s ...", cell)
+		tps, commits, err := runLivebenchCell(cell, window, clients, pprofDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nlivebench %s: %v\n", cell, err)
+			os.Exit(1)
+		}
+		fmt.Printf(" %8.1f tx/s (%d commits)\n", tps, commits)
+		tpsBy[cell.String()] = tps
+		res.Rows = append(res.Rows, harness.Row{
+			Label:  cell.String(),
+			Values: map[string]float64{"live_tps": tps, "commits": float64(commits)},
+			Order:  []string{"live_tps", "commits"},
+		})
+	}
+	for _, w := range []int{1, 8} {
+		base := tpsBy[fmt.Sprintf("gob-nopool-w%d", w)]
+		fast := tpsBy[fmt.Sprintf("binary-pool-w%d", w)]
+		speedup := 0.0
+		if base > 0 {
+			speedup = fast / base
+		}
+		fmt.Printf("livebench speedup at W=%d: %.2fx (%.1f → %.1f tx/s)\n", w, speedup, base, fast)
+		res.Rows = append(res.Rows, harness.Row{
+			Label:  fmt.Sprintf("speedup-w%d", w),
+			Values: map[string]float64{"live_speedup": speedup},
+			Order:  []string{"live_speedup"},
+		})
+	}
+	fmt.Println(res)
+	fmt.Printf("[livebench sweep completed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	writeJSON(jsonPath, &benchOutput{Scale: "livebench", Results: []*harness.Result{res}})
+}
+
+// runLivebenchCell boots one cluster for the cell's configuration, lets it
+// reach steady state, and measures committed throughput over the window
+// (with a CPU profile covering exactly the measured interval when pprofDir
+// is set).
+func runLivebenchCell(cell livebenchCell, window time.Duration, clients int, pprofDir string) (tps float64, commits int, err error) {
+	opts := harness.Options{
+		N:             4,
+		Clients:       clients,
+		Seed:          livebenchSeed,
+		PipelineDepth: cell.depth,
+		ClientTimeout: 2 * time.Second,
+		// Zero injected latency: loopback at wire speed. The default fabric
+		// profile would add ~2ms per hop and drown the crypto/codec costs
+		// this sweep exists to expose.
+		Net: sim.NetworkConfig{Latency: sim.FixedLatency(0)},
+	}
+	verifyWorkers := -1
+	if cell.pool {
+		verifyWorkers = 0 // pool default
+	}
+	env, err := liveharness.New(opts, liveharness.Config{
+		WireCodec:     cell.codec,
+		VerifyWorkers: verifyWorkers,
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("boot cluster: %w", err)
+	}
+	defer env.Close()
+
+	env.Start()
+	if err := env.WaitHealthy(); err != nil {
+		return 0, 0, fmt.Errorf("cluster never turned healthy: %v", err)
+	}
+	env.RunUntil(livebenchWarmup)
+
+	var prof *os.File
+	if pprofDir != "" {
+		if err := os.MkdirAll(pprofDir, 0o755); err != nil {
+			return 0, 0, fmt.Errorf("mkdir %s: %v", pprofDir, err)
+		}
+		path := filepath.Join(pprofDir, fmt.Sprintf("cpu-%s.pprof", cell))
+		prof, err = os.Create(path)
+		if err != nil {
+			return 0, 0, fmt.Errorf("create %s: %v", path, err)
+		}
+		if err := pprof.StartCPUProfile(prof); err != nil {
+			prof.Close()
+			return 0, 0, fmt.Errorf("start profile: %v", err)
+		}
+	}
+	env.RunUntil(livebenchWarmup + window)
+	if prof != nil {
+		pprof.StopCPUProfile()
+		prof.Close()
+	}
+
+	tps = env.TPS(livebenchWarmup, livebenchWarmup+window)
+	pr := env.Progress()
+	env.Close()
+	return tps, pr.Commits, nil
+}

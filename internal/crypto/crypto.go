@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"prestigebft/internal/types"
 )
@@ -63,6 +64,137 @@ type Registry struct {
 	// ed25519 math so that a 100-server virtual cluster runs on one
 	// laptop core. Protocol tests keep it enabled.
 	VerifySignatures bool
+
+	// cache, when non-nil, memoizes successful verifications so the same
+	// signature or QC arriving on multiple messages (or pre-verified by the
+	// live pipeline) is checked once. Nil in simulation — the simulator
+	// never calls EnableVerifiedCache, so simulated results are untouched.
+	cache *verifiedCache
+}
+
+// cacheKey identifies one verified fact. Keys hash their full input
+// (domain tag plus length-prefixed material), so distinct facts cannot alias.
+type cacheKey [32]byte
+
+// verifiedCache is a bounded set of verification facts that have already
+// succeeded. Only positive results are cached: a hit means "this exact
+// (identity, message, signature) or QC verified successfully before".
+// Eviction is two-generation (the simplest bounded scheme with an LRU-ish
+// working-set guarantee): when the live generation fills, it becomes the
+// previous generation and a fresh map starts; lookups consult both.
+type verifiedCache struct {
+	mu    sync.Mutex
+	live  map[cacheKey]struct{}
+	prev  map[cacheKey]struct{}
+	limit int
+
+	hits   uint64
+	misses uint64
+}
+
+func (c *verifiedCache) contains(k cacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.live[k]; ok {
+		c.hits++
+		return true
+	}
+	if _, ok := c.prev[k]; ok {
+		// Promote so the fact survives the next generation flip.
+		c.live[k] = struct{}{}
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+func (c *verifiedCache) insert(k cacheKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.live) >= c.limit {
+		c.prev = c.live
+		c.live = make(map[cacheKey]struct{}, c.limit)
+	}
+	c.live[k] = struct{}{}
+}
+
+// DefaultVerifiedCacheEntries bounds each cache generation when
+// EnableVerifiedCache is called with a non-positive size.
+const DefaultVerifiedCacheEntries = 1 << 16
+
+// EnableVerifiedCache installs a bounded verified-fact cache holding up to
+// entries facts per generation (DefaultVerifiedCacheEntries if entries <= 0).
+// Only live deployments call this; the simulator never does, which is what
+// keeps simulated trajectories byte-identical. Safe for concurrent use once
+// installed; not safe to call concurrently with verification.
+func (r *Registry) EnableVerifiedCache(entries int) {
+	if entries <= 0 {
+		entries = DefaultVerifiedCacheEntries
+	}
+	r.cache = &verifiedCache{
+		live:  make(map[cacheKey]struct{}, entries),
+		limit: entries,
+	}
+}
+
+// CacheStats returns cumulative (hits, misses) of the verified-fact cache,
+// or zeros when no cache is installed.
+func (r *Registry) CacheStats() (hits, misses uint64) {
+	if r.cache == nil {
+		return 0, 0
+	}
+	r.cache.mu.Lock()
+	defer r.cache.mu.Unlock()
+	return r.cache.hits, r.cache.misses
+}
+
+// Cache-key domain tags. Each key hashes tag || len-prefixed fields, so a
+// server-signature fact can never collide with a client-signature or QC fact.
+const (
+	cacheTagServer byte = 'S'
+	cacheTagClient byte = 'C'
+	cacheTagQC     byte = 'Q'
+)
+
+func sigCacheKey(tag byte, id uint64, msg, sig []byte) cacheKey {
+	h := sha256.New()
+	var hdr [17]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint64(hdr[1:9], id)
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(len(msg)))
+	h.Write(hdr[:])
+	h.Write(msg)
+	h.Write(sig)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// qcCacheKey hashes the full content of a QC: statement, signer set, and
+// every signature (each length-prefixed). Any bit of difference — including
+// a different signer order or a padded signature — yields a different key.
+func qcCacheKey(qc *types.QC) cacheKey {
+	stmt := qc.StatementBytes()
+	h := sha256.New()
+	var hdr [9]byte
+	hdr[0] = cacheTagQC
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(len(stmt)))
+	h.Write(hdr[:])
+	h.Write(stmt)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(qc.Signers)))
+	h.Write(n[:])
+	for i, id := range qc.Signers {
+		var rec [10]byte
+		binary.BigEndian.PutUint16(rec[0:2], uint16(id))
+		binary.BigEndian.PutUint64(rec[2:10], uint64(len(qc.Sigs[i])))
+		h.Write(rec[:])
+		h.Write(qc.Sigs[i])
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
 }
 
 // NewRegistry creates an empty registry with verification enabled.
@@ -107,6 +239,17 @@ func (r *Registry) VerifyServer(id types.ServerID, msg, sig []byte) bool {
 	if !ok {
 		return false
 	}
+	if r.cache != nil {
+		k := sigCacheKey(cacheTagServer, uint64(id), msg, sig)
+		if r.cache.contains(k) {
+			return true
+		}
+		if ed25519.Verify(pub, msg, sig) {
+			r.cache.insert(k)
+			return true
+		}
+		return false
+	}
 	return ed25519.Verify(pub, msg, sig)
 }
 
@@ -119,17 +262,51 @@ func (r *Registry) VerifyClient(id types.ClientID, msg, sig []byte) bool {
 	if !ok {
 		return false
 	}
+	if r.cache != nil {
+		k := sigCacheKey(cacheTagClient, uint64(id), msg, sig)
+		if r.cache.contains(k) {
+			return true
+		}
+		if ed25519.Verify(pub, msg, sig) {
+			r.cache.insert(k)
+			return true
+		}
+		return false
+	}
 	return ed25519.Verify(pub, msg, sig)
 }
 
 // VerifyQC checks that qc certifies its statement with at least threshold
 // distinct, registered signers.
+//
+// Shape checks come before the threshold check: a QC whose signer and
+// signature lists disagree, or that carries an empty signature, is malformed
+// regardless of how many signers it claims, and must be rejected even in
+// sim mode (where VerifySignatures is false and a padding byte would
+// otherwise stand in for a signature).
 func (r *Registry) VerifyQC(qc *types.QC, threshold int) error {
+	if len(qc.Sigs) != len(qc.Signers) {
+		return fmt.Errorf("%s: %d signatures for %d signers", qc.Kind, len(qc.Sigs), len(qc.Signers))
+	}
+	for i, sig := range qc.Sigs {
+		if len(sig) == 0 {
+			return fmt.Errorf("%s: empty signature from %d", qc.Kind, qc.Signers[i])
+		}
+	}
 	if qc.Len() < threshold {
 		return fmt.Errorf("%s: %d signers, need %d", qc.Kind, qc.Len(), threshold)
 	}
-	if len(qc.Sigs) != len(qc.Signers) {
-		return fmt.Errorf("%s: %d signatures for %d signers", qc.Kind, len(qc.Sigs), len(qc.Signers))
+	// Cached fact: every signature in this exact QC verified against its
+	// statement, with all signers distinct and registered. The fact is
+	// threshold-independent — the threshold is re-checked above on every
+	// call — so one cache entry serves the same QC at any quorum size.
+	var key cacheKey
+	useCache := r.cache != nil && r.VerifySignatures
+	if useCache {
+		key = qcCacheKey(qc)
+		if r.cache.contains(key) {
+			return nil
+		}
 	}
 	stmt := qc.StatementBytes()
 	seen := make(map[types.ServerID]bool, len(qc.Signers))
@@ -141,6 +318,9 @@ func (r *Registry) VerifyQC(qc *types.QC, threshold int) error {
 		if !r.VerifyServer(id, stmt, qc.Sigs[i]) {
 			return fmt.Errorf("%s: bad signature from %d", qc.Kind, id)
 		}
+	}
+	if useCache {
+		r.cache.insert(key)
 	}
 	return nil
 }

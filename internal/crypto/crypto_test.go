@@ -126,6 +126,171 @@ func TestVerifyQC(t *testing.T) {
 	}
 }
 
+// TestVerifyQCMalformed: shape validation must run before the threshold
+// check, and zero-length signatures must be rejected even when
+// VerifySignatures is false (sim-mode QCs reaching live code paths).
+func TestVerifyQCMalformed(t *testing.T) {
+	reg, servers, _ := GenerateDeployment(5, 4, 0)
+	stmt := types.QCStatementBytes(types.QCCommit, 2, 5, types.Digest{9})
+	valid := types.QC{Kind: types.QCCommit, View: 2, Seq: 5, Digest: types.Digest{9}}
+	for id := types.ServerID(1); id <= 3; id++ {
+		valid.Signers = append(valid.Signers, id)
+		valid.Sigs = append(valid.Sigs, servers[id].Sign(stmt))
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(qc *types.QC)
+		verify  bool // VerifySignatures setting
+		wantErr bool
+	}{
+		{"valid", func(qc *types.QC) {}, true, false},
+		{"more signers than sigs", func(qc *types.QC) {
+			qc.Signers = append(qc.Signers, 4)
+		}, true, true},
+		{"more sigs than signers", func(qc *types.QC) {
+			qc.Sigs = append(qc.Sigs, qc.Sigs[0])
+		}, true, true},
+		// Shape mismatch must be detected even when the extra signer would
+		// push the count past threshold (the old order checked threshold
+		// first and indexed Sigs with Signers' length).
+		{"mismatch below threshold", func(qc *types.QC) {
+			qc.Signers = qc.Signers[:2]
+		}, true, true},
+		{"nil signature", func(qc *types.QC) {
+			qc.Sigs[1] = nil
+		}, true, true},
+		{"empty signature", func(qc *types.QC) {
+			qc.Sigs[2] = []byte{}
+		}, true, true},
+		{"nil signature in sim mode", func(qc *types.QC) {
+			qc.Sigs[1] = nil
+		}, false, true},
+		{"padding byte is not a signature shape violation", func(qc *types.QC) {
+			qc.Sigs[1] = []byte{0xAA}
+		}, false, false},
+		{"unregistered signer", func(qc *types.QC) {
+			qc.Signers[0] = 99
+		}, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qc := valid
+			qc.Signers = append([]types.ServerID(nil), valid.Signers...)
+			qc.Sigs = make([][]byte, len(valid.Sigs))
+			copy(qc.Sigs, valid.Sigs)
+			tc.mutate(&qc)
+			reg.VerifySignatures = tc.verify
+			err := reg.VerifyQC(&qc, 3)
+			if tc.wantErr && err == nil {
+				t.Fatal("malformed QC accepted")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("QC rejected: %v", err)
+			}
+		})
+	}
+	reg.VerifySignatures = true
+}
+
+func TestVerifiedCacheSignatures(t *testing.T) {
+	reg, servers, clients := GenerateDeployment(11, 4, 2)
+	reg.EnableVerifiedCache(8)
+	msg := []byte("cached statement")
+	sig := servers[1].Sign(msg)
+	if !reg.VerifyServer(1, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if h, m := reg.CacheStats(); h != 0 || m != 1 {
+		t.Fatalf("after first verify: hits=%d misses=%d, want 0/1", h, m)
+	}
+	if !reg.VerifyServer(1, msg, sig) {
+		t.Fatal("cached signature rejected")
+	}
+	if h, _ := reg.CacheStats(); h != 1 {
+		t.Fatalf("second verify did not hit cache (hits=%d)", h)
+	}
+	// The cached fact is bound to the identity: same bytes, other server.
+	if reg.VerifyServer(2, msg, sig) {
+		t.Fatal("cache leaked a fact across server identities")
+	}
+	// And to the identity class.
+	csig := clients[1].Sign(msg)
+	if !reg.VerifyClient(1, msg, csig) || !reg.VerifyClient(1, msg, csig) {
+		t.Fatal("client verify through cache failed")
+	}
+	if reg.VerifyClient(2, msg, csig) {
+		t.Fatal("cache leaked a fact across client identities")
+	}
+	// Invalid signatures are never cached.
+	bad := append([]byte(nil), sig...)
+	bad[0] ^= 0xFF
+	for i := 0; i < 2; i++ {
+		if reg.VerifyServer(1, msg, bad) {
+			t.Fatal("corrupted signature accepted")
+		}
+	}
+}
+
+func TestVerifiedCacheQC(t *testing.T) {
+	reg, servers, _ := GenerateDeployment(13, 4, 0)
+	reg.EnableVerifiedCache(8)
+	stmt := types.QCStatementBytes(types.QCOrdering, 1, 7, types.Digest{3})
+	qc := types.QC{Kind: types.QCOrdering, View: 1, Seq: 7, Digest: types.Digest{3}}
+	for id := types.ServerID(1); id <= 3; id++ {
+		qc.Signers = append(qc.Signers, id)
+		qc.Sigs = append(qc.Sigs, servers[id].Sign(stmt))
+	}
+	if err := reg.VerifyQC(&qc, 3); err != nil {
+		t.Fatalf("valid QC rejected: %v", err)
+	}
+	h0, _ := reg.CacheStats()
+	if err := reg.VerifyQC(&qc, 3); err != nil {
+		t.Fatalf("cached QC rejected: %v", err)
+	}
+	h1, _ := reg.CacheStats()
+	if h1 <= h0 {
+		t.Fatal("second QC verification did not hit the cache")
+	}
+	// The cached fact is threshold-independent, but the threshold is
+	// re-checked on every call: the same QC must still fail a higher bar.
+	if err := reg.VerifyQC(&qc, 4); err == nil {
+		t.Fatal("cache bypassed the threshold check")
+	}
+	// A tampered copy (one flipped sig byte) keys differently and fails.
+	tampered := qc
+	tampered.Sigs = make([][]byte, len(qc.Sigs))
+	copy(tampered.Sigs, qc.Sigs)
+	tampered.Sigs[2] = append([]byte(nil), qc.Sigs[2]...)
+	tampered.Sigs[2][0] ^= 0x01
+	if err := reg.VerifyQC(&tampered, 3); err == nil {
+		t.Fatal("tampered QC accepted via cache")
+	}
+}
+
+func TestVerifiedCacheEviction(t *testing.T) {
+	reg, servers, _ := GenerateDeployment(17, 1, 0)
+	reg.EnableVerifiedCache(4)
+	// Fill far past both generations; every verify must still succeed.
+	for i := 0; i < 32; i++ {
+		msg := []byte{byte(i)}
+		sig := servers[1].Sign(msg)
+		if !reg.VerifyServer(1, msg, sig) {
+			t.Fatalf("verify %d failed after eviction churn", i)
+		}
+	}
+	// A recently-inserted fact still hits.
+	msg := []byte{31}
+	sig := servers[1].Sign(msg)
+	h0, _ := reg.CacheStats()
+	if !reg.VerifyServer(1, msg, sig) {
+		t.Fatal("recent fact rejected")
+	}
+	if h1, _ := reg.CacheStats(); h1 <= h0 {
+		t.Fatal("recent fact did not hit the cache")
+	}
+}
+
 func TestLeadingZeroBits(t *testing.T) {
 	cases := []struct {
 		d    types.Digest

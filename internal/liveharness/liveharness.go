@@ -36,6 +36,7 @@ import (
 	"prestigebft/internal/consensus"
 	"prestigebft/internal/core"
 	"prestigebft/internal/crypto"
+	"prestigebft/internal/crypto/verifier"
 	"prestigebft/internal/faults"
 	"prestigebft/internal/harness"
 	"prestigebft/internal/metrics"
@@ -67,6 +68,17 @@ type Config struct {
 	// HealthTimeout bounds WaitHealthy's poll for every replica's /healthz
 	// to go green. Default 10s of wall clock.
 	HealthTimeout time.Duration
+	// WireCodec selects the wire encoding every transport negotiates:
+	// "binary" (default — the zero-copy fast lane for hot message kinds,
+	// gob fallback for the long tail) or "gob" (the legacy stream codec).
+	WireCodec string
+	// VerifyWorkers sizes each replica's inbound verify pipeline: inbound
+	// signatures and QCs are pre-verified off the event-loop goroutine,
+	// warming the registry's verified-fact cache. 0 means the pool default
+	// (verifier.DefaultWorkers); negative disables both the pipeline and
+	// the cache, keeping every signature check inline on the event loop
+	// (the pre-fast-lane behavior, used as the livebench baseline).
+	VerifyWorkers int
 	// Logf observes harness events; nil is silent.
 	Logf func(format string, args ...any)
 	// OnTrace, if non-nil, observes every protocol trace with the replica
@@ -90,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HealthTimeout == 0 {
 		c.HealthTimeout = 10 * time.Second
+	}
+	if c.WireCodec == "" {
+		c.WireCodec = "binary"
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -126,6 +141,7 @@ type server struct {
 	tr      *transport.Transport
 	lf      *transport.LinkFaults
 	rt      *runtime.Runtime
+	pool    *verifier.Pool // verify pipeline of the current runtime, nil when disabled
 	running bool
 }
 
@@ -193,6 +209,8 @@ type scheduledEvent struct {
 type Env struct {
 	opts harness.Options
 	cfg  Config
+	reg  *crypto.Registry
+	wire transport.WireCodec
 
 	servers []*server
 	clients []*liveClient
@@ -238,14 +256,32 @@ func New(o harness.Options, cfg Config) (*Env, error) {
 		}
 	}
 
+	var wire transport.WireCodec
+	switch cfg.WireCodec {
+	case "binary":
+		wire = transport.CodecBinary
+	case "gob":
+		wire = transport.CodecGob
+	default:
+		return nil, fmt.Errorf("unknown wire codec %q (want binary or gob)", cfg.WireCodec)
+	}
+
 	reg, serverKeys, clientKeys := crypto.GenerateDeployment(uint64(o.Seed)+0x5eed, o.N, o.Clients)
 	// A real deployment verifies what it receives, whatever the
 	// simulation profile chose for speed.
 	reg.VerifySignatures = true
+	if cfg.VerifyWorkers >= 0 {
+		// The registry is shared by every in-process replica, so the
+		// verified-fact cache dedupes across the whole cluster: a QC checked
+		// by one replica is a cache hit for the other three.
+		reg.EnableVerifiedCache(0)
+	}
 
 	e := &Env{
 		opts:    o,
 		cfg:     cfg,
+		reg:     reg,
+		wire:    wire,
 		peerMap: make(map[types.ServerID]string, o.N),
 		stop:    make(chan struct{}),
 		crashed: make(map[types.ServerID]bool),
@@ -258,6 +294,7 @@ func New(o harness.Options, cfg Config) (*Env, error) {
 		id := types.ServerID(i)
 		s := &server{env: e, id: id}
 		tr := transport.NewServerTransport(id)
+		tr.SetWireCodec(wire)
 		lf := e.newLinkFaults(int64(i))
 		tr.SetFaults(lf)
 		if err := tr.Listen("127.0.0.1:0", s.deliver); err != nil {
@@ -324,6 +361,7 @@ func New(o harness.Options, cfg Config) (*Env, error) {
 		cid := types.ClientID(i)
 		lc := &liveClient{env: e, id: cid}
 		tr := transport.NewClientTransport(cid)
+		tr.SetWireCodec(wire)
 		clf := e.newLinkFaults(int64(1000 + i))
 		tr.SetFaults(clf)
 		if err := tr.Listen("127.0.0.1:0", lc.deliver); err != nil {
@@ -485,10 +523,20 @@ func (e *Env) spawnRuntime(s *server) {
 	s.mu.Lock()
 	tr := s.tr
 	s.mu.Unlock()
+	// Each runtime gets its own verify pipeline (sized by cfg); the pool is
+	// closed in stopServer after the event loop exits, so a crash/recover
+	// cycle replaces it along with the runtime. The pipelines all warm the
+	// one shared registry cache.
+	var pool *verifier.Pool
+	if e.cfg.VerifyWorkers >= 0 {
+		pool = verifier.New(verifier.Config{Registry: e.reg, Workers: e.cfg.VerifyWorkers})
+		runtime.RegisterVerifierMetrics(s.reg, pool, e.reg)
+	}
 	rt := runtime.New(runtime.Config{
 		Replica:         s.replica,
 		Peers:           e.peerMap,
 		Transport:       tr,
+		Verifier:        pool,
 		PuzzleBitsPerRP: e.cfg.PuzzleBitsPerRP,
 		Metrics:         s.reg,
 		OnCommit:        e.met.onCommit,
@@ -509,6 +557,7 @@ func (e *Env) spawnRuntime(s *server) {
 	}
 	s.mu.Lock()
 	s.rt = rt
+	s.pool = pool
 	s.running = true
 	s.mu.Unlock()
 	go rt.Run()
@@ -518,13 +567,19 @@ func (e *Env) spawnRuntime(s *server) {
 // goroutine touches the replica afterwards) and tears down its transport.
 func (e *Env) stopServer(s *server) {
 	s.mu.Lock()
-	rt, tr, running := s.rt, s.tr, s.running
+	rt, tr, pool, running := s.rt, s.tr, s.pool, s.running
 	s.running = false
 	s.rt = nil
+	s.pool = nil
 	s.mu.Unlock()
 	if rt != nil && running {
 		rt.Stop()
 		rt.Wait()
+	}
+	if pool != nil {
+		// After Stop+Wait the runtime discards deliveries, so draining the
+		// pool cannot block on a full event queue.
+		pool.Close()
 	}
 	if tr != nil {
 		e.retire(tr)
@@ -581,6 +636,7 @@ func (e *Env) Recover(id types.ServerID) {
 		default:
 		}
 		tr := transport.NewServerTransport(id)
+		tr.SetWireCodec(e.wire)
 		lf := e.newLinkFaults(int64(id))
 		tr.SetFaults(lf)
 		if err := tr.Listen(s.addr, s.deliver); err != nil {

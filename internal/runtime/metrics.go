@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"prestigebft/internal/consensus"
+	"prestigebft/internal/crypto"
+	"prestigebft/internal/crypto/verifier"
 	"prestigebft/internal/metrics"
 	"prestigebft/internal/transport"
 	"prestigebft/internal/types"
@@ -137,6 +139,8 @@ func RegisterTransportMetrics(reg *metrics.Registry, tr *transport.Transport) {
 		"Successful dials after the first, per peer.", "peer")
 	peerEvictions := reg.NewCounter("prestige_peer_evictions_total",
 		"Cached connections evicted on encode failure, per peer.", "peer")
+	peerRetries := reg.NewCounter("prestige_peer_send_retries_total",
+		"Messages resent over a fresh dial after a cached-conn encode failure, per peer.", "peer")
 	peerBackoff := reg.NewCounter("prestige_peer_backoff_refused_total",
 		"Sends refused inside a redial-backoff window, per peer.", "peer")
 	unreachable := reg.NewGauge("prestige_peers_unreachable",
@@ -155,9 +159,38 @@ func RegisterTransportMetrics(reg *metrics.Registry, tr *transport.Transport) {
 			peerDials.With(addr).Mirror(float64(ps.Dials))
 			peerRedials.With(addr).Mirror(float64(ps.Redials))
 			peerEvictions.With(addr).Mirror(float64(ps.Evictions))
+			peerRetries.With(addr).Mirror(float64(ps.Retries))
 			peerBackoff.With(addr).Mirror(float64(ps.BackoffRefused))
 		}
 		unreachable.Set(float64(len(tr.Unreachable())))
+	})
+}
+
+// RegisterVerifierMetrics mirrors a verify pipeline's counters into reg on
+// every scrape: messages routed through (and around) the pool, the current
+// queue depth (the backpressure signal), and the registry's verified-fact
+// cache hit/miss totals. Same keyed-hook contract as the transport mirror.
+func RegisterVerifierMetrics(reg *metrics.Registry, pool *verifier.Pool, cr *crypto.Registry) {
+	submitted := reg.NewCounter("prestige_verifier_submitted_total",
+		"Messages routed through the verify pipeline.").With()
+	bypassed := reg.NewCounter("prestige_verifier_bypassed_total",
+		"Messages delivered around the pipeline (submitted after Close).").With()
+	depth := reg.NewGauge("prestige_verifier_queue_depth",
+		"Messages waiting in the verify pipeline's shards.").With()
+	hits := reg.NewCounter("prestige_verified_cache_hits_total",
+		"Verified-fact cache hits across all verification calls.").With()
+	misses := reg.NewCounter("prestige_verified_cache_misses_total",
+		"Verified-fact cache misses across all verification calls.").With()
+	reg.OnGather("verifier", func() {
+		sub, byp := pool.Stats()
+		submitted.Mirror(float64(sub))
+		bypassed.Mirror(float64(byp))
+		depth.Set(float64(pool.QueueDepth()))
+		if cr != nil {
+			h, m := cr.CacheStats()
+			hits.Mirror(float64(h))
+			misses.Mirror(float64(m))
+		}
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"prestigebft/internal/consensus"
 	"prestigebft/internal/crypto"
+	"prestigebft/internal/crypto/verifier"
 	"prestigebft/internal/metrics"
 	"prestigebft/internal/transport"
 	"prestigebft/internal/types"
@@ -56,6 +57,13 @@ type Config struct {
 	// Registration is idempotent, so a harness re-hosting a replica in a
 	// fresh runtime passes the same registry and counters continue.
 	Metrics *metrics.Registry
+	// Verifier, when non-nil, routes inbound envelopes through the verify
+	// pipeline before they reach the event queue: signatures and QCs are
+	// pre-verified on the pool's workers (warming the registry's
+	// verified-fact cache) so the core's inline verification calls become
+	// cache hits. The pool is owned by whoever created it — the runtime
+	// never closes it; close it after Stop+Wait.
+	Verifier *verifier.Pool
 }
 
 type timerKey struct {
@@ -170,8 +178,20 @@ func (rt *Runtime) RegisterClient(id types.ClientID, addr string) {
 	rt.mu.Unlock()
 }
 
-// Deliver enqueues an inbound envelope (the transport handler).
+// Deliver enqueues an inbound envelope (the transport handler). With a
+// verify pipeline installed, the envelope detours through the pool first;
+// sharding by sender preserves the per-peer FIFO order the transport's read
+// loops provide.
 func (rt *Runtime) Deliver(env *transport.Envelope) {
+	if v := rt.cfg.Verifier; v != nil {
+		key := uint64(env.FromServer)<<32 | uint64(env.FromClient)
+		v.Submit(key, env.Msg, func() { rt.enqueue(env) })
+		return
+	}
+	rt.enqueue(env)
+}
+
+func (rt *Runtime) enqueue(env *transport.Envelope) {
 	select {
 	case rt.events <- inboundEvent{env}:
 	case <-rt.stopped:

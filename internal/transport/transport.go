@@ -15,13 +15,18 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"prestigebft/internal/transport/codec"
 	"prestigebft/internal/types"
 )
 
@@ -49,9 +54,12 @@ type Stats struct {
 }
 
 // PeerStats is the per-peer slice of the traffic counters, plus the
-// connection-lifecycle events that used to be invisible: dials (successful),
-// redials (successful dials after the first), evictions (cached connections
-// discarded on encode failure), and backoff-refused sends (dropped without
+// connection-lifecycle events that used to be invisible: dials (successful
+// dials of connections actually installed in the cache — a concurrent-dial
+// race loser counts nothing), redials (installed dials after the first),
+// evictions (cached connections discarded on encode failure), retries
+// (messages re-sent over a fresh dial after their cached connection turned
+// out to be a stale corpse), and backoff-refused sends (dropped without
 // dialing because the peer's redial backoff window was still open).
 type PeerStats struct {
 	Sent           uint64
@@ -60,18 +68,20 @@ type PeerStats struct {
 	Dials          uint64
 	Redials        uint64
 	Evictions      uint64
+	Retries        uint64
 	BackoffRefused uint64
 }
 
 // peerCounters is the mutable form of PeerStats. Scalar fields are guarded
-// by Transport.mu; bytes is atomic because the gob counting writer runs
-// outside the lock.
+// by Transport.mu; bytes is atomic because the counting writer runs outside
+// the lock.
 type peerCounters struct {
 	sent           uint64
 	dropped        uint64
 	dials          uint64
 	redials        uint64
 	evictions      uint64
+	retries        uint64
 	backoffRefused uint64
 	bytes          atomic.Uint64
 }
@@ -111,8 +121,50 @@ type Transport struct {
 	faults   *LinkFaults
 	delayq   map[string]chan delayedMsg
 	accepted map[net.Conn]struct{}
+	codec    WireCodec
 	closed   bool
 	done     chan struct{}
+}
+
+// WireCodec selects the outbound encoding for new connections.
+type WireCodec int
+
+const (
+	// CodecGob streams gob-encoded envelopes — the legacy format every
+	// transport accepts inbound.
+	CodecGob WireCodec = iota
+	// CodecBinary opens connections with the binary-codec magic and frames
+	// hot messages through transport/codec, falling back to an embedded gob
+	// blob for the long tail. Inbound direction always auto-detects, so a
+	// binary sender interoperates with any receiver of this package.
+	CodecBinary
+)
+
+// binaryMagic is the 4-byte preamble a binary-codec dialer writes before its
+// first frame. A gob stream physically could begin with these bytes (its
+// first byte is a message length), but that requires an exact 4-byte match
+// against an 80-byte first gob message that no wire type here produces; the
+// deployments in this repo configure both sides consistently anyway.
+const binaryMagic = "PBW1"
+
+// maxFrame bounds one binary frame (64 MiB) so a corrupt or hostile length
+// prefix cannot force an unbounded allocation.
+const maxFrame = 1 << 26
+
+// Envelope frame markers: the byte after the sender IDs that says how the
+// message body is encoded.
+const (
+	frameGob    byte = 0 // body is a self-contained gob blob of the Envelope
+	frameBinary byte = 1 // body is a transport/codec message
+)
+
+// SetWireCodec selects the encoding used for connections dialed after the
+// call (existing connections keep their negotiated format). The inbound
+// direction is unaffected: every transport auto-detects both formats.
+func (t *Transport) SetWireCodec(c WireCodec) {
+	t.mu.Lock()
+	t.codec = c
+	t.mu.Unlock()
 }
 
 // delayedMsg is one latency-injected message waiting in a per-peer queue.
@@ -138,8 +190,104 @@ func (t *Transport) Stats() Stats {
 
 type conn struct {
 	mu  sync.Mutex
-	enc *gob.Encoder
+	enc *gob.Encoder // gob mode only
 	c   net.Conn
+
+	// Binary-codec mode. The magic preamble is written lazily under mu by
+	// the first encode, so a connection installed in the cache is complete
+	// from any goroutine's perspective. scratch is the reusable frame
+	// buffer; it grows to the largest frame the connection has sent.
+	bin          bool
+	cw           *countingWriter
+	magicPending bool
+	scratch      []byte
+}
+
+// encode serializes env onto the connection in its negotiated format.
+func (cn *conn) encode(env *Envelope) error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if !cn.bin {
+		return cn.enc.Encode(env)
+	}
+	if cn.magicPending {
+		if _, err := io.WriteString(cn.cw, binaryMagic); err != nil {
+			return err
+		}
+		cn.magicPending = false
+	}
+	// Build the body after a MaxVarintLen64 hole, then back-fill the length
+	// prefix so header+body go out in one write.
+	if cap(cn.scratch) < binary.MaxVarintLen64 {
+		cn.scratch = make([]byte, 0, 512)
+	}
+	full, err := appendEnvelope(cn.scratch[:binary.MaxVarintLen64], env)
+	if err != nil {
+		return err
+	}
+	body := full[binary.MaxVarintLen64:]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	start := binary.MaxVarintLen64 - n
+	copy(full[start:], hdr[:n])
+	cn.scratch = full[:0]
+	_, err = cn.cw.Write(full[start:])
+	return err
+}
+
+// appendEnvelope appends env's frame body: sender IDs, a format marker, and
+// the message — binary-coded for hot kinds, an embedded self-contained gob
+// blob for the long tail.
+func appendEnvelope(buf []byte, env *Envelope) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(env.FromServer))
+	buf = binary.AppendUvarint(buf, uint64(env.FromClient))
+	mark := len(buf)
+	buf = append(buf, frameBinary)
+	if out, ok := codec.Append(buf, env.Msg); ok {
+		return out, nil
+	}
+	buf[mark] = frameGob
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(env); err != nil {
+		return nil, err
+	}
+	return append(buf, blob.Bytes()...), nil
+}
+
+// decodeEnvelope parses one binary frame body. The decoded message aliases
+// buf (the codec is zero-copy), so each frame gets its own buffer.
+func decodeEnvelope(buf []byte) (*Envelope, error) {
+	fromServer, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: bad frame sender")
+	}
+	buf = buf[n:]
+	fromClient, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: bad frame sender")
+	}
+	buf = buf[n:]
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("transport: empty frame")
+	}
+	marker := buf[0]
+	buf = buf[1:]
+	env := &Envelope{FromServer: types.ServerID(fromServer), FromClient: types.ClientID(fromClient)}
+	switch marker {
+	case frameBinary:
+		msg, err := codec.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		env.Msg = msg
+	case frameGob:
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(env); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("transport: unknown frame marker %d", marker)
+	}
+	return env, nil
 }
 
 // countingWriter counts the bytes gob actually puts on the wire, both
@@ -204,6 +352,7 @@ func (t *Transport) PeerStats() map[string]PeerStats {
 			Dials:          pc.dials,
 			Redials:        pc.redials,
 			Evictions:      pc.evictions,
+			Retries:        pc.retries,
 			BackoffRefused: pc.backoffRefused,
 		}
 	}
@@ -298,7 +447,13 @@ func (t *Transport) readLoop(c net.Conn) {
 		delete(t.accepted, c)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReader(c)
+	if magic, err := br.Peek(len(binaryMagic)); err == nil && string(magic) == binaryMagic {
+		br.Discard(len(binaryMagic))
+		t.readBinary(c, br)
+		return
+	}
+	dec := gob.NewDecoder(br)
 	for {
 		var env Envelope
 		if err := dec.Decode(&env); err != nil {
@@ -308,6 +463,33 @@ func (t *Transport) readLoop(c net.Conn) {
 		if t.handler != nil {
 			t.delivered.Add(1)
 			t.handler(&env)
+		}
+	}
+}
+
+// readBinary drains length-prefixed binary frames from a connection that
+// announced the binary codec. Each frame is read into its own buffer, which
+// the decoded message then owns (the codec aliases it instead of copying).
+func (t *Transport) readBinary(c net.Conn, br *bufio.Reader) {
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil || size > maxFrame {
+			c.Close()
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			c.Close()
+			return
+		}
+		env, err := decodeEnvelope(buf)
+		if err != nil {
+			c.Close()
+			return
+		}
+		if t.handler != nil {
+			t.delivered.Add(1)
+			t.handler(env)
 		}
 	}
 }
@@ -405,84 +587,144 @@ func (t *Transport) drainDelayed(addr string, q chan delayedMsg) {
 
 // transmit performs the actual dial-and-encode, maintaining the connection
 // cache and the redial backoff.
+//
+// An encode failure on a *cached* connection usually means the peer
+// restarted since the last send and the cache held a stale corpse; an
+// immediate redial would succeed, so the message gets exactly one
+// redial-and-resend attempt. Fresh dials never retry (the peer just proved
+// reachable — an immediate encode failure there is a real loss), and the
+// retry itself never retries, so there is no loop. Dropped is counted only
+// when the message is finally lost.
 func (t *Transport) transmit(addr string, msg types.Message) error {
+	cn, cached, err := t.getConn(addr, true)
+	if err != nil {
+		return err
+	}
+	env := t.self
+	env.Msg = msg
+	if err := cn.encode(&env); err == nil {
+		t.noteSuccess(addr)
+		return nil
+	} else if !cached {
+		t.dropConn(addr, cn, true)
+		t.noteFailure(addr)
+		return fmt.Errorf("send %s: %w", addr, err)
+	}
+	// Stale cached connection: evict it (no drop counted yet — the message
+	// is still in hand) and retry once over a fresh connection.
+	t.dropConn(addr, cn, false)
+	t.mu.Lock()
+	t.peer(addr).retries++
+	t.mu.Unlock()
+	cn, _, err = t.getConn(addr, false)
+	if err != nil {
+		return fmt.Errorf("send %s: retry: %w", addr, err)
+	}
+	if err := cn.encode(&env); err != nil {
+		t.dropConn(addr, cn, true)
+		t.noteFailure(addr)
+		return fmt.Errorf("send %s: retry: %w", addr, err)
+	}
+	t.noteSuccess(addr)
+	return nil
+}
+
+// getConn returns addr's cached connection or dials a new one, installing it
+// in the cache. cached reports whether the connection pre-existed this call
+// (including losing a concurrent-dial race to another goroutine — only the
+// installed connection's dial is counted). Dial failures count the message
+// as dropped and advance the backoff window; respectBackoff=false skips the
+// backoff refusal for the retry path, which must attempt its single redial
+// unconditionally.
+func (t *Transport) getConn(addr string, respectBackoff bool) (cn *conn, cached bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.peer(addr).dropped++
 		t.mu.Unlock()
 		t.dropped.Add(1)
 		t.sendsAfterClose.Add(1)
-		return fmt.Errorf("send %s: transport closed", addr)
+		return nil, false, fmt.Errorf("send %s: transport closed", addr)
 	}
-	cn, ok := t.conns[addr]
-	if !ok {
+	if cn := t.conns[addr]; cn != nil {
+		t.mu.Unlock()
+		return cn, true, nil
+	}
+	if respectBackoff {
 		if bo := t.backoff[addr]; bo != nil && time.Now().Before(bo.until) {
 			pc := t.peer(addr)
 			pc.dropped++
 			pc.backoffRefused++
+			failures := bo.failures
 			t.mu.Unlock()
 			t.dropped.Add(1)
-			return fmt.Errorf("send %s: backing off after %d failures", addr, bo.failures)
+			return nil, false, fmt.Errorf("send %s: backing off after %d failures", addr, failures)
 		}
 	}
+	mode := t.codec
 	t.mu.Unlock()
 
-	if !ok {
-		raw, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.dropPeer(addr)
-			t.noteFailure(addr)
-			return fmt.Errorf("dial %s: %w", addr, err)
-		}
-		t.mu.Lock()
-		pc := t.peer(addr)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.dropPeer(addr)
+		t.noteFailure(addr)
+		return nil, false, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	t.mu.Lock()
+	pc := t.peer(addr)
+	cw := &countingWriter{w: raw, n: &t.bytes, pn: &pc.bytes}
+	cn = &conn{c: raw}
+	if mode == CodecBinary {
+		cn.bin = true
+		cn.cw = cw
+		cn.magicPending = true
+	} else {
+		cn.enc = gob.NewEncoder(cw)
+	}
+	switch {
+	case t.closed:
+		pc.dropped++
+		t.mu.Unlock()
+		cn.c.Close()
+		t.dropped.Add(1)
+		t.sendsAfterClose.Add(1)
+		return nil, false, fmt.Errorf("send %s: transport closed", addr)
+	case t.conns[addr] != nil:
+		// Raced with a concurrent dial; use the winner. The discarded
+		// connection counts nothing — only installed dials are dials.
+		existing := t.conns[addr]
+		t.mu.Unlock()
+		cn.c.Close()
+		return existing, true, nil
+	default:
 		pc.dials++
 		if pc.dials > 1 {
 			pc.redials++
 		}
-		cn = &conn{enc: gob.NewEncoder(&countingWriter{w: raw, n: &t.bytes, pn: &pc.bytes}), c: raw}
-		switch {
-		case t.closed:
-			pc.dropped++
-			t.mu.Unlock()
-			cn.c.Close()
-			t.dropped.Add(1)
-			t.sendsAfterClose.Add(1)
-			return fmt.Errorf("send %s: transport closed", addr)
-		case t.conns[addr] != nil:
-			// Raced with a concurrent dial; use the winner.
-			existing := t.conns[addr]
-			t.mu.Unlock()
-			cn.c.Close()
-			cn = existing
-		default:
-			t.conns[addr] = cn
-			t.mu.Unlock()
-		}
-	}
-	env := t.self
-	env.Msg = msg
-	cn.mu.Lock()
-	err := cn.enc.Encode(&env)
-	cn.mu.Unlock()
-	if err != nil {
-		// Evict the dead connection so the next send (after backoff)
-		// redials instead of failing against a cached corpse forever.
-		t.dropped.Add(1)
-		t.mu.Lock()
-		pc := t.peer(addr)
-		pc.dropped++
-		if t.conns != nil && t.conns[addr] == cn {
-			delete(t.conns, addr)
-			pc.evictions++
-		}
+		t.conns[addr] = cn
 		t.mu.Unlock()
-		cn.c.Close()
-		t.noteFailure(addr)
-		return fmt.Errorf("send %s: %w", addr, err)
+		return cn, false, nil
 	}
-	t.noteSuccess(addr)
-	return nil
+}
+
+// dropConn evicts cn from the cache (if it is still the cached connection
+// for addr) and closes it. countLoss additionally records one dropped
+// message globally and against the peer — false on the retry path, where
+// the message is not lost yet.
+func (t *Transport) dropConn(addr string, cn *conn, countLoss bool) {
+	t.mu.Lock()
+	pc := t.peer(addr)
+	if countLoss {
+		pc.dropped++
+	}
+	if t.conns != nil && t.conns[addr] == cn {
+		delete(t.conns, addr)
+		pc.evictions++
+	}
+	t.mu.Unlock()
+	if countLoss {
+		t.dropped.Add(1)
+	}
+	cn.c.Close()
 }
 
 // noteFailure advances addr's backoff window (doubling, capped), logging

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -124,6 +125,167 @@ func TestStatsAccounting(t *testing.T) {
 	ss := srv.Stats()
 	if ss.Delivered != sends {
 		t.Fatalf("server stats = %+v, want Delivered=%d", ss, sends)
+	}
+}
+
+// TestBinaryCodecRoundtrip: a binary-codec sender delivers both hot
+// (codec-framed) and cold (embedded-gob) messages to an unmodified receiver,
+// which auto-detects the format from the connection preamble.
+func TestBinaryCodecRoundtrip(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewServerTransport(1)
+	cli.SetWireCodec(CodecBinary)
+	defer cli.Close()
+
+	qc := types.QC{Kind: types.QCOrdering, View: 1, Seq: 2, Digest: types.Digest{3},
+		Signers: []types.ServerID{1, 2, 3}, Sigs: [][]byte{{1}, {2}, {3}}}
+	msgs := []types.Message{
+		&types.Prop{Tx: types.Transaction{Timestamp: 5, Client: 3, Data: []byte("abc")}, D: types.Digest{1}, Sig: []byte("s")},
+		&types.Cmt{From: 1, V: 1, N: 2, OrderingQC: qc, Sig: []byte("s")},
+		&types.CampVC{From: 1, VPrime: 7, RP: 4, Nonce: []byte{1, 2}, Sig: []byte("s")}, // cold: gob fallback frame
+		&types.SyncResp{From: 1, Kind: types.SyncTx, TxBlocks: []types.TxBlock{*types.GenesisTxBlock()}},
+	}
+	for _, m := range msgs {
+		if err := cli.Send(srv.Addr(), m); err != nil {
+			t.Fatalf("send %s: %v", m.Type(), err)
+		}
+	}
+	for _, want := range msgs {
+		select {
+		case env := <-ch:
+			if env.FromServer != 1 {
+				t.Fatalf("sender identity lost: %+v", env)
+			}
+			if env.Msg.Type() != want.Type() {
+				t.Fatalf("got %s, want %s (in-order delivery)", env.Msg.Type(), want.Type())
+			}
+			if cmt, ok := env.Msg.(*types.Cmt); ok {
+				if cmt.OrderingQC.Len() != 3 || string(cmt.OrderingQC.Sigs[1]) != "\x02" {
+					t.Fatalf("QC mangled in transit: %+v", cmt.OrderingQC)
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s", want.Type())
+		}
+	}
+	if cli.Stats().Bytes == 0 {
+		t.Fatal("binary sends wrote no counted bytes")
+	}
+}
+
+// TestConcurrentDialCountsInstalledOnly: when many goroutines race the first
+// send to a peer, only the connection actually installed in the cache counts
+// as a dial — race losers discard theirs without touching the counters.
+func TestConcurrentDialCountsInstalledOnly(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+
+	const senders = 16
+	var wg sync.WaitGroup
+	wg.Add(senders)
+	for i := 0; i < senders; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			if err := cli.Send(srv.Addr(), &types.Ref{From: 1, V: types.View(i), Sig: []byte("s")}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < senders; i++ {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out draining")
+		}
+	}
+	ps := cli.PeerStats()[srv.Addr()]
+	if ps.Dials != 1 || ps.Redials != 0 {
+		t.Fatalf("peer stats after concurrent first sends = %+v, want Dials=1 Redials=0", ps)
+	}
+	if ps.Sent != senders || ps.Dropped != 0 {
+		t.Fatalf("peer stats = %+v, want Sent=%d Dropped=0", ps, senders)
+	}
+}
+
+// TestCachedConnRetryAfterPeerRestart: when the peer restarts, the sender's
+// cached connection is a stale corpse whose encode eventually fails; the
+// transport must redial and resend that same message once instead of losing
+// it, and the retry must be visible in the per-peer counters.
+func TestCachedConnRetryAfterPeerRestart(t *testing.T) {
+	h, ch := collect()
+	srv := NewServerTransport(2)
+	if err := srv.Listen("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli := NewServerTransport(1)
+	defer cli.Close()
+
+	if err := cli.Send(addr, &types.Ref{From: 1, V: 1, Sig: []byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	// Restart the peer: the old listener and its accepted conns die, a new
+	// listener takes over the address, and the client still holds the corpse.
+	srv.Close()
+	h2, ch2 := collect()
+	srv2 := NewServerTransport(2)
+	if err := srv2.Listen(addr, h2); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The first write after a peer restart may still land in the kernel
+	// buffer before the RST arrives, so poll until a send exercises the
+	// retry path. The send that triggers it must report success — that is
+	// the bug under test: the message rides the fresh connection instead of
+	// being dropped with an error.
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) && !recovered {
+		before := cli.PeerStats()[addr].Retries
+		err := cli.Send(addr, &types.Ref{From: 1, V: 7, Sig: []byte("s")})
+		after := cli.PeerStats()[addr]
+		if after.Retries > before {
+			if err != nil {
+				t.Fatalf("retry path still returned an error: %v (stats %+v)", err, after)
+			}
+			recovered = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("no send exercised the cached-conn retry path")
+	}
+	// The retried message really arrived at the restarted peer.
+	gotV7 := false
+	for !gotV7 {
+		select {
+		case env := <-ch2:
+			if ref, ok := env.Msg.(*types.Ref); ok && ref.V == 7 {
+				gotV7 = true
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("retried message never delivered to restarted peer")
+		}
+	}
+	ps := cli.PeerStats()[addr]
+	if ps.Retries == 0 || ps.Evictions == 0 {
+		t.Fatalf("peer stats = %+v, want Retries>0 and Evictions>0", ps)
 	}
 }
 
